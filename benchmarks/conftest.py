@@ -1,0 +1,28 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+reduced-but-representative scale (half-length loops, one CTA wave,
+subset of workloads for the heavy sweeps) and asserts the headline
+shape from the paper so a performance run doubles as a correctness
+check. Full-scale regeneration is done by::
+
+    python -m repro.experiments.runner
+"""
+
+import pytest
+
+#: Reduced settings shared by the experiment benchmarks.
+QUICK = dict(scale=0.5, waves=1)
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run the callable exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(
+            fn, args=args, kwargs=kwargs, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+
+    return runner

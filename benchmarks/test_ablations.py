@@ -1,0 +1,26 @@
+"""Bench: design-choice ablations (consolidation, throttle policy,
+loop releases, renaming pipeline depth)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_ablations(run_once):
+    result = run_once(get_experiment("ablations"), **QUICK)
+
+    # Consolidation keeps far fewer sub-arrays powered than scatter.
+    consolidation = result.table
+    by_policy = {}
+    for workload, policy, active, _ in consolidation.rows:
+        by_policy.setdefault(policy, []).append(active)
+    assert (
+        sum(by_policy["consolidate"]) < 0.6 * sum(by_policy["scatter"])
+    )
+
+    # The cumulative balance counter throttles less than the strict one.
+    throttle = result.extra_tables[0]
+    heartwall = {
+        row[1]: row[2] for row in throttle.rows if row[0] == "heartwall"
+    }
+    assert heartwall["assigned"] <= heartwall["mapped"]

@@ -1,0 +1,65 @@
+"""Microbenchmarks of the substrate components themselves.
+
+Not a paper figure: these measure the reproduction's own performance
+(compile speed, simulated instructions per second) so regressions in
+the pure-Python simulator are visible. They use normal pytest-benchmark
+rounds since individual runs are short.
+"""
+
+from repro.arch import GPUConfig
+from repro.compiler import compile_kernel
+from repro.sim import simulate
+from repro.workloads import get_workload
+
+
+def test_compile_pipeline_throughput(benchmark):
+    workload = get_workload("heartwall")
+
+    def compile_once():
+        return compile_kernel(
+            workload.kernel, workload.launch, GPUConfig.renamed()
+        )
+
+    result = benchmark(compile_once)
+    assert result.kernel.has_metadata()
+
+
+def test_simulator_throughput_baseline(benchmark):
+    workload = get_workload("matrixmul", scale=0.5)
+
+    def run():
+        return simulate(
+            workload.kernel.clone(), workload.launch,
+            mode="baseline", max_ctas_per_sm_sim=2,
+        )
+
+    result = benchmark(run)
+    assert result.instructions > 0
+
+
+def test_simulator_throughput_virtualized(benchmark):
+    workload = get_workload("matrixmul", scale=0.5)
+    config = GPUConfig.renamed(gating_enabled=True)
+    compiled = compile_kernel(workload.kernel, workload.launch, config)
+
+    def run():
+        return simulate(
+            compiled.kernel, workload.launch, config, mode="flags",
+            threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+        )
+
+    result = benchmark(run)
+    assert result.stats.registers_released_events > 0
+
+
+def test_release_plan_analysis_throughput(benchmark):
+    from repro.compiler.cfg import ControlFlowGraph
+    from repro.compiler.release import compute_release_plan
+
+    kernel = get_workload("heartwall").kernel
+
+    def analyze():
+        return compute_release_plan(ControlFlowGraph(kernel.clone()))
+
+    plan = benchmark(analyze)
+    assert plan.pir_site_count() > 0

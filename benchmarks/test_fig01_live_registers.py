@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 1 (live-register fraction over time)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_fig01_live_registers(run_once):
+    result = run_once(get_experiment("fig01"), **QUICK)
+    means = dict(zip(result.table.column("Workload"),
+                     result.table.column("MeanLive%")))
+    # The paper's headline: most apps barely keep half the registers
+    # live.
+    below_60 = sum(1 for value in means.values() if value < 60.0)
+    assert below_60 >= 4

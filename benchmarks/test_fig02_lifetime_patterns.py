@@ -1,0 +1,9 @@
+"""Bench: regenerate Fig. 2a/2b (register lifetime patterns)."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig02_lifetime_patterns(run_once):
+    result = run_once(get_experiment("fig02"), scale=0.5)
+    shapes = set(result.table.column("Shape"))
+    assert {"whole-kernel", "loop-pulsed", "short-lived"} <= shapes

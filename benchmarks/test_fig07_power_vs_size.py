@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 7 (RF power vs size reduction)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+
+
+def test_fig07_power_vs_size(run_once):
+    result = run_once(get_experiment("fig07"))
+    half = result.table.rows[-1]
+    assert half[1] == pytest.approx(80.0, abs=0.5)  # dynamic -20%
+    assert half[3] == pytest.approx(70.0, abs=0.5)  # total -30%

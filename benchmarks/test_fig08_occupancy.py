@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 8 (sub-array occupancy consolidation)."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig08_subarray_occupancy(run_once):
+    result = run_once(get_experiment("fig08"), scale=0.5)
+    powered = {}
+    for row in result.table.rows:
+        powered.setdefault(row[0], 0)
+        powered[row[0]] += sum(1 for cell in row[2:] if cell > 0)
+    assert powered["w/ renaming"] < powered["w/o renaming"]

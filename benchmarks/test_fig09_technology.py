@@ -1,0 +1,11 @@
+"""Bench: regenerate Fig. 9 (leakage across technology nodes)."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig09_technology(run_once):
+    result = run_once(get_experiment("fig09"))
+    values = dict(zip(result.table.column("Technology"),
+                      result.table.column("LeakageFraction")))
+    assert values["22nm-F"] < values["22nm-P"]
+    assert values["10nm-F"] > values["22nm-F"]

@@ -1,0 +1,15 @@
+"""Bench: regenerate Fig. 10 (register allocation reduction)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_fig10_alloc_reduction(run_once):
+    result = run_once(get_experiment("fig10"), **QUICK)
+    rows = {
+        row[0]: row[4] for row in result.table.rows if row[0] != "AVG"
+    }
+    assert all(value > 0 for value in rows.values())
+    # Short kernels save least (paper: VectorAdd among the smallest).
+    assert rows["vectoradd"] <= sorted(rows.values())[1]

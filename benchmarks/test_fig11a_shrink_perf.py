@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 11a (GPU-shrink vs compiler spill)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+#: Compute-dense, fitting, pressured and memory-bound representatives.
+SUBSET = ("matrixmul", "vectoradd", "heartwall", "hotspot", "mum")
+
+
+def test_fig11a_shrink_performance(run_once):
+    result = run_once(
+        get_experiment("fig11a"), workloads=SUBSET, **QUICK
+    )
+    avg = result.table.rows[-1]
+    shrink_avg, spill_avg = avg[2], avg[3]
+    # The paper's headline: near-zero vs massive overhead.
+    assert shrink_avg < 10.0
+    assert spill_avg > 5 * max(shrink_avg, 1.0)
+    rows = {row[0]: row for row in result.table.rows}
+    assert rows["vectoradd"][2] == 0.0  # fits 64KB outright

@@ -1,0 +1,16 @@
+"""Bench: regenerate Fig. 11b (wake-up latency sensitivity)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_fig11b_wakeup_sensitivity(run_once):
+    result = run_once(
+        get_experiment("fig11b"),
+        workloads=("matrixmul", "reduction", "mum"),
+        **QUICK,
+    )
+    for row in result.table.rows:
+        # Under 5% overhead even at a 10-cycle wake-up (paper: <2%).
+        assert row[1] < 1.05

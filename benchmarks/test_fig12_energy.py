@@ -1,0 +1,20 @@
+"""Bench: regenerate Fig. 12 (register-file energy breakdown)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+SUBSET = ("matrixmul", "vectoradd", "lib", "heartwall")
+
+
+def test_fig12_energy_breakdown(run_once):
+    result = run_once(
+        get_experiment("fig12"), workloads=SUBSET, **QUICK
+    )
+    averages = {
+        row[1]: row[6] for row in result.table.rows if row[0] == "AVG"
+    }
+    gated_shrink = averages["64KB (50%) RF w/ PG"]
+    # The paper's headline: ~42% total RF energy saving.
+    assert gated_shrink < 0.8
+    # Gating on top of shrinking always helps.
+    assert gated_shrink <= averages["64KB (50%) RF"]

@@ -1,0 +1,19 @@
+"""Bench: regenerate Fig. 13 (static/dynamic code increase)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+SUBSET = ("matrixmul", "vectoradd", "blackscholes", "reduction")
+
+
+def test_fig13_code_increase(run_once):
+    result = run_once(
+        get_experiment("fig13"), workloads=SUBSET, **QUICK
+    )
+    avg = result.table.rows[-1]
+    static, dynamic0, dynamic10 = avg[1], avg[2], avg[6]
+    # Paper: ~11% dynamic increase without a cache, almost eliminated
+    # with ten entries; static increase around one pir per 7-10 instrs.
+    assert 5.0 < dynamic0 < 25.0
+    assert dynamic10 < dynamic0 / 2
+    assert 5.0 < static < 30.0

@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 14 (renaming table size constraint)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_fig14_renaming_table(run_once):
+    result = run_once(
+        get_experiment("fig14"),
+        workloads=("heartwall", "mum", "matrixmul", "vectoradd"),
+        **QUICK,
+    )
+    exempt = dict(zip(result.table.column("Workload"),
+                      result.table.column("Exempt/Total")))
+    assert exempt["heartwall"] == "4/29"
+    assert exempt["mum"] == "2/19"
+    savings = dict(zip(result.table.column("Workload"),
+                       result.table.column("NormalizedSaving")))
+    # Constrained benchmarks keep nearly all of their saving.
+    assert all(value > 0.85 for value in savings.values())

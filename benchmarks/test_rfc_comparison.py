@@ -1,0 +1,20 @@
+"""Bench: register-file-cache related-work comparison."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_rfc_comparison(run_once):
+    result = run_once(
+        get_experiment("rfc"),
+        workloads=("blackscholes", "reduction"),
+        **QUICK,
+    )
+    rows = {}
+    for row in result.table.rows:
+        rows.setdefault(row[1], []).append(row[4])
+    mean = {k: sum(v) / len(v) for k, v in rows.items()}
+    # RFC saves some energy; virtualization + shrink saves much more.
+    assert mean["RFC-6"] < 1.001
+    assert mean["GPU-shrink+PG"] < mean["RFC-6"]

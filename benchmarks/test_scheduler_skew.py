@@ -1,0 +1,18 @@
+"""Bench: scheduler-skew study (Section 5's enabling mechanism)."""
+
+from repro.experiments import get_experiment
+
+QUICK = dict(scale=0.5, waves=1)
+
+
+def test_scheduler_skew(run_once):
+    result = run_once(
+        get_experiment("schedulers"),
+        workloads=("blackscholes", "lib"),
+        **QUICK,
+    )
+    reductions = {}
+    for row in result.table.rows:
+        reductions.setdefault(row[1], []).append(row[4])
+    mean = {k: sum(v) / len(v) for k, v in reductions.items()}
+    assert mean["loose_rr"] <= mean["two_level"]

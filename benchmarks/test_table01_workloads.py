@@ -1,0 +1,8 @@
+"""Bench: regenerate Table 1 (workload characteristics)."""
+
+from repro.experiments import get_experiment
+
+
+def test_table01_workloads(run_once):
+    result = run_once(get_experiment("table01"))
+    assert "16/16" in result.measured_summary

@@ -1,0 +1,9 @@
+"""Bench: regenerate Table 2 (energy parameters)."""
+
+from repro.experiments import get_experiment
+
+
+def test_table02_energy_params(run_once):
+    result = run_once(get_experiment("table02"))
+    assert "1.14 pJ" in result.table.render()
+    assert "4.68 pJ" in result.table.render()

@@ -1,0 +1,24 @@
+"""repro — a reproduction of "GPU Register File Virtualization"
+(Jeon, Ravi, Kim, Annavaram; MICRO-48, 2015).
+
+Public surface:
+
+* :class:`repro.arch.GPUConfig` — hardware configuration
+  (``baseline()`` / ``renamed()`` / ``shrunk()`` constructors);
+* :class:`repro.launch.LaunchConfig` — kernel launch geometry;
+* :func:`repro.isa.assemble` / :class:`repro.isa.KernelBuilder` —
+  writing kernels;
+* :func:`repro.compiler.compile_kernel` — the Section 6/7.1 compile
+  pipeline (lifetime analysis, release flags, renaming selection);
+* :func:`repro.sim.simulate` — the cycle-level SM simulator;
+* :func:`repro.power.energy_breakdown` — register-file energy model;
+* :func:`repro.workloads.get_workload` — the Table 1 benchmark suite;
+* :mod:`repro.experiments` — every paper table/figure, regenerable.
+"""
+
+from repro.arch import GPUConfig
+from repro.launch import LaunchConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["GPUConfig", "LaunchConfig", "__version__"]

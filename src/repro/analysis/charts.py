@@ -1,0 +1,97 @@
+"""ASCII chart rendering for experiment output.
+
+The experiments regenerate the paper's *figures* as tables; this module
+draws them as horizontal bar charts in plain text, so a terminal run of
+``python -m repro.experiments.runner --chart fig10`` visually resembles
+the paper's plots without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+
+
+def bar_chart(
+    table: Table,
+    label_column: str,
+    value_column: str,
+    group_column: str | None = None,
+    width: int = 50,
+    fill: str = "#",
+) -> str:
+    """Render one numeric column of ``table`` as horizontal bars.
+
+    ``group_column`` optionally appends a second label (e.g. the config
+    of a grouped bar chart). Non-numeric cells (AVG separators etc.)
+    are skipped. Negative values draw to a marked zero baseline.
+    """
+    label_idx = table.headers.index(label_column)
+    value_idx = table.headers.index(value_column)
+    group_idx = (
+        table.headers.index(group_column) if group_column else None
+    )
+
+    entries: list[tuple[str, float]] = []
+    for row in table.rows:
+        value = row[value_idx]
+        if not isinstance(value, (int, float)):
+            continue
+        label = str(row[label_idx])
+        if group_idx is not None:
+            label = f"{label}/{row[group_idx]}"
+        entries.append((label, float(value)))
+    if not entries:
+        return f"{table.title}\n(no numeric data)"
+
+    low = min(0.0, min(value for _, value in entries))
+    high = max(0.0, max(value for _, value in entries))
+    span = high - low or 1.0
+    label_width = max(len(label) for label, _ in entries)
+    zero_pos = round((0.0 - low) / span * width)
+
+    lines = [table.title, "-" * len(table.title)]
+    for label, value in entries:
+        pos = round((value - low) / span * width)
+        if value >= 0:
+            bar = " " * zero_pos + fill * max(0, pos - zero_pos)
+        else:
+            bar = " " * pos + fill * (zero_pos - pos)
+        lines.append(
+            f"{label.ljust(label_width)} |{bar.ljust(width)}| "
+            f"{value:,.3f}"
+        )
+    if low < 0:
+        lines.append(
+            f"{' ' * label_width} |{' ' * zero_pos}^ zero"
+        )
+    return "\n".join(lines)
+
+
+#: Which (label, value[, group]) columns draw each figure experiment.
+CHART_COLUMNS: dict[str, tuple] = {
+    "fig01": ("Workload", "MeanLive%"),
+    "fig07": ("SizeReduction%", "TotalPower%"),
+    "fig09": ("Technology", "LeakageFraction"),
+    "fig10": ("Workload", "Reduction%"),
+    "fig11a": ("Workload", "GPU-shrink%"),
+    "fig11b": ("WakeupCycles", "NormalizedCycles"),
+    "fig12": ("Workload", "Total", "Config"),
+    "fig13": ("Workload", "Dynamic-10%"),
+    "fig14": ("Workload", "UnconstrainedB"),
+    "fig15": ("Workload", "NormAllocReduction"),
+    "schedulers": ("Workload", "Reduction%", "Policy"),
+    "rfc": ("Workload", "NormalizedEnergy", "Design"),
+}
+
+
+def chart_for(experiment: str, table: Table) -> str | None:
+    """Chart an experiment's main table, if a mapping is defined."""
+    spec = CHART_COLUMNS.get(experiment)
+    if spec is None:
+        return None
+    label, value = spec[0], spec[1]
+    group = spec[2] if len(spec) > 2 else None
+    try:
+        return bar_chart(table, label, value, group_column=group)
+    except ValueError:
+        return None

@@ -1,0 +1,75 @@
+"""Per-register lifetime traces (Figs. 2a and 2b).
+
+Fig. 2a plots when individual architected registers of one warp hold a
+live value: long-lived registers stay up for the whole kernel,
+loop-pulsed registers blink every iteration, short-lived registers show
+isolated pulses. We reproduce it from the renaming table's def/release
+event stream for a traced warp; Fig. 2b's cross-warp reuse is visible
+by tracing two warps and observing their pulses interleave in time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.runners import run_virtualized
+from repro.arch import GPUConfig
+from repro.workloads.suite import Workload
+
+
+@dataclass(frozen=True)
+class LifetimeTrace:
+    """Liveness intervals per (warp, architected register)."""
+
+    workload: str
+    end_cycle: int
+    #: (warp_slot, reg) -> list of [start, end) liveness intervals.
+    intervals: dict[tuple[int, int], list[tuple[int, int]]]
+
+    def intervals_of(self, reg: int, warp: int = 0) -> list[tuple[int, int]]:
+        return self.intervals.get((warp, reg), [])
+
+    def total_live_cycles(self, reg: int, warp: int = 0) -> int:
+        return sum(
+            end - start for start, end in self.intervals_of(reg, warp)
+        )
+
+    def live_fraction(self, reg: int, warp: int = 0) -> float:
+        if not self.end_cycle:
+            return 0.0
+        return self.total_live_cycles(reg, warp) / self.end_cycle
+
+    def pulse_count(self, reg: int, warp: int = 0) -> int:
+        return len(self.intervals_of(reg, warp))
+
+
+def register_lifetime_intervals(
+    workload: Workload,
+    warps: tuple[int, ...] = (0,),
+    config: GPUConfig | None = None,
+    waves: int | None = 1,
+) -> LifetimeTrace:
+    """Trace def/release events of ``warps`` and build intervals.
+
+    A definition opens an interval; the matching release (or warp
+    completion) closes it. The returned register ids are the
+    post-renumbering compiler ids.
+    """
+    artifacts = run_virtualized(
+        workload, config=config, waves=waves, trace_warp_slots=warps
+    )
+    end_cycle = artifacts.stats.cycles
+    open_at: dict[tuple[int, int], int] = {}
+    intervals: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    for cycle, slot, reg, event in artifacts.stats.lifetime_events:
+        key = (slot, reg)
+        if event == "def":
+            open_at.setdefault(key, cycle)
+        elif event == "release" and key in open_at:
+            start = open_at.pop(key)
+            intervals.setdefault(key, []).append((start, max(cycle, start)))
+    for key, start in open_at.items():
+        intervals.setdefault(key, []).append((start, end_cycle))
+    return LifetimeTrace(
+        workload=workload.name, end_cycle=end_cycle, intervals=intervals
+    )

@@ -1,0 +1,120 @@
+"""Canonical run flows for one workload under each configuration.
+
+Every experiment needs the same four flows:
+
+* ``baseline``  — conventional 128 KB register file, no renaming;
+* ``virtualized`` — the paper's proposal on a configurable register
+  file (full-size, or GPU-shrink fractions), with compile;
+* ``compiler spill`` — the naive 64 KB + recompile baseline;
+* ``hardware only`` — the redefine-release renaming baseline [46].
+
+``waves`` caps how many CTA waves per SM are simulated
+(``waves x concurrent CTAs``); two waves reach steady state while
+keeping the pure-Python simulations fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.baselines.compiler_spill import (
+    SpillBaselineResult,
+    run_compiler_spill,
+)
+from repro.baselines.hardware_only import run_hardware_only
+from repro.compiler import CompiledKernel, compile_kernel
+from repro.sim.gpu import SimulationResult, simulate
+from repro.workloads.suite import Workload
+
+
+@dataclass
+class RunArtifacts:
+    """A compiled kernel plus its simulation outcome."""
+
+    workload: Workload
+    result: SimulationResult
+    compiled: CompiledKernel | None = None
+
+    @property
+    def stats(self):
+        return self.result.stats
+
+
+def _wave_cap(workload: Workload, waves: int | None) -> int | None:
+    if waves is None:
+        return None
+    return waves * workload.table1.conc_ctas_per_sm
+
+
+def run_baseline(
+    workload: Workload,
+    config: GPUConfig | None = None,
+    waves: int | None = 2,
+    **kwargs,
+) -> RunArtifacts:
+    """Conventional register management on a full-size file."""
+    config = config or GPUConfig.baseline()
+    result = simulate(
+        workload.kernel.clone(),
+        workload.launch,
+        config,
+        mode="baseline",
+        max_ctas_per_sm_sim=_wave_cap(workload, waves),
+        **kwargs,
+    )
+    return RunArtifacts(workload=workload, result=result)
+
+
+def run_virtualized(
+    workload: Workload,
+    config: GPUConfig | None = None,
+    waves: int | None = 2,
+    **kwargs,
+) -> RunArtifacts:
+    """Compile with release metadata and simulate with renaming."""
+    config = config or GPUConfig.renamed()
+    compiled = compile_kernel(workload.kernel, workload.launch, config)
+    result = simulate(
+        compiled.kernel,
+        workload.launch,
+        config,
+        mode="flags",
+        threshold=compiled.renaming_threshold,
+        max_ctas_per_sm_sim=_wave_cap(workload, waves),
+        **kwargs,
+    )
+    return RunArtifacts(workload=workload, result=result, compiled=compiled)
+
+
+def run_hardware_only_baseline(
+    workload: Workload,
+    config: GPUConfig | None = None,
+    waves: int | None = 2,
+    **kwargs,
+) -> RunArtifacts:
+    """The redefine-release hardware-only renaming baseline."""
+    result = run_hardware_only(
+        workload.kernel,
+        workload.launch,
+        config or GPUConfig.renamed(),
+        max_ctas_per_sm_sim=_wave_cap(workload, waves),
+        **kwargs,
+    )
+    return RunArtifacts(workload=workload, result=result)
+
+
+def run_compiler_spill_baseline(
+    workload: Workload,
+    shrunk_bytes: int = 64 * 1024,
+    waves: int | None = 2,
+    **kwargs,
+) -> SpillBaselineResult:
+    """The naive halved-file + recompile baseline."""
+    return run_compiler_spill(
+        workload.kernel,
+        workload.launch,
+        shrunk_bytes=shrunk_bytes,
+        max_ctas_per_sm_sim=_wave_cap(workload, waves),
+        **kwargs,
+    )

@@ -1,0 +1,79 @@
+"""Plain-text table rendering for experiment output.
+
+Experiments print the same rows the paper's tables and figures report;
+this module renders them as aligned ASCII tables and (optionally) CSV.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Table:
+    """A titled table of stringifiable cells."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self) -> str:
+        return render_table(self)
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        out.write(",".join(_csv_cell(h) for h in self.headers) + "\n")
+        for row in self.rows:
+            out.write(",".join(_csv_cell(c) for c in row) + "\n")
+        return out.getvalue()
+
+    def column(self, header: str) -> list[object]:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+
+def _format_cell(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _csv_cell(cell: object) -> str:
+    text = _format_cell(cell)
+    if "," in text or '"' in text:
+        text = '"' + text.replace('"', '""') + '"'
+    return text
+
+
+def render_table(table: Table) -> str:
+    cells = [[_format_cell(c) for c in row] for row in table.rows]
+    widths = [len(h) for h in table.headers]
+    for row in cells:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(parts: list[str]) -> str:
+        return "  ".join(
+            part.ljust(widths[index]) for index, part in enumerate(parts)
+        ).rstrip()
+
+    out = [table.title, "=" * len(table.title)]
+    out.append(line(table.headers))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in cells)
+    for note in table.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)

@@ -1,0 +1,239 @@
+"""Hardware configuration for the simulated GPU.
+
+The defaults mirror the paper's baseline (Section 9): a Fermi-class GPU
+with 16 SMs, a 128 KB register file per SM split into four banks, a
+two-level warp scheduler with a six-warp ready queue, dual issue, up to
+48 resident warps and 8 resident CTAs per SM, and at most 63 registers
+per thread.
+
+``GPUConfig`` is a frozen dataclass; derive variants with
+:meth:`GPUConfig.replace`. The paper's configurations are provided as
+constructors:
+
+* :meth:`GPUConfig.baseline` — 128 KB RF, no renaming.
+* :meth:`GPUConfig.renamed` — 128 KB RF with register virtualization.
+* :meth:`GPUConfig.shrunk` — GPU-shrink: virtualization plus an
+  under-provisioned physical register file (50 % by default).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+#: Bytes of storage behind one architected register of one warp:
+#: 32 lanes x 4 bytes.
+BYTES_PER_WARP_REGISTER = 128
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Parameters of the simulated GPU and of the proposed mechanisms.
+
+    All sizes are per SM unless stated otherwise. Attributes mirror the
+    paper's baseline in Section 9 and Table 2.
+    """
+
+    # --- chip / SM geometry -------------------------------------------------
+    num_sms: int = 16
+    warp_size: int = 32
+    max_warps_per_sm: int = 48
+    max_ctas_per_sm: int = 8
+    max_regs_per_thread: int = 63
+    num_schedulers: int = 2
+    ready_queue_size: int = 6
+    #: Warp scheduling policy: ``two_level`` (the paper's baseline, a
+    #: small ready queue with demotion on long-latency operations),
+    #: ``loose_rr`` (plain round-robin over all warps — minimal
+    #: schedule skew), or ``gto`` (greedy-then-oldest — maximal skew).
+    #: Register reuse across warps feeds on schedule-time differences
+    #: (Section 5), so the policy is an interesting ablation axis.
+    scheduler_policy: str = "two_level"
+
+    # --- register file ------------------------------------------------------
+    regfile_bytes: int = 128 * 1024
+    #: Physical register file size; ``None`` means fully provisioned
+    #: (equal to the architected ``regfile_bytes``). GPU-shrink sets this
+    #: to a smaller value (e.g. 64 KB).
+    physical_regfile_bytes: int | None = None
+    num_banks: int = 4
+    subarrays_per_bank: int = 4
+
+    # --- register file cache baseline (related work, Gebhart [20]) ----------
+    #: Per-warp register-file-cache entries; 0 disables the RFC. Only
+    #: meaningful in ``baseline`` mode (the RFC and virtualization are
+    #: the alternatives the paper's related work contrasts).
+    rfc_entries_per_warp: int = 0
+
+    # --- register virtualization (the paper's proposal) ---------------------
+    renaming_enabled: bool = False
+    #: Restrict renaming to the bank the compiler assigned (7.1). The
+    #: ablation value False allocates in the least-occupied bank,
+    #: discarding the compiler's conflict-avoiding operand placement.
+    bank_preserving_renaming: bool = True
+    renaming_table_bytes: int = 1024
+    renaming_entry_bits: int = 10
+    #: Conservative one extra pipeline cycle for the renaming lookup (7.1).
+    renaming_extra_cycles: int = 1
+    release_flag_cache_entries: int = 10
+
+    # --- power gating ---------------------------------------------------------
+    gating_enabled: bool = False
+    #: Sub-array wake-up delay in cycles (Fig. 11b sweeps 1, 3, 10).
+    wakeup_latency_cycles: int = 1
+    #: Physical register allocation policy: ``consolidate`` packs live
+    #: registers into the lowest sub-arrays (the paper's gating-friendly
+    #: policy, Section 8.2); ``scatter`` round-robins across sub-arrays
+    #: (the ablation showing why consolidation matters).
+    allocation_policy: str = "consolidate"
+    #: GPU-shrink balance counter: ``assigned`` compares free registers
+    #: against C minus the *cumulative* registers ever assigned per CTA
+    #: (Section 8.1's "already occupied most registers will finish
+    #: soon"); ``mapped`` uses the currently mapped count — a stricter
+    #: reading that over-throttles (ablation).
+    throttle_policy: str = "assigned"
+
+    # --- pipeline latencies ---------------------------------------------------
+    alu_latency: int = 4
+    sfu_latency: int = 10
+    shared_mem_latency: int = 24
+    global_mem_latency: int = 200
+    #: Global-memory requests accepted per cycle per SM (bandwidth model).
+    mem_requests_per_cycle: int = 1
+    #: Extra cycles to spill or fill one warp-register (coalesced access).
+    spill_latency: int = 200
+
+    def __post_init__(self) -> None:
+        if self.warp_size <= 0 or self.num_banks <= 0:
+            raise ConfigError("warp_size and num_banks must be positive")
+        if self.subarrays_per_bank <= 0:
+            raise ConfigError("subarrays_per_bank must be positive")
+        if self.regfile_bytes <= 0 or self.regfile_bytes % (
+            self.num_banks
+            * self.subarrays_per_bank
+            * BYTES_PER_WARP_REGISTER
+        ):
+            raise ConfigError(
+                "regfile_bytes must be a positive multiple of "
+                "num_banks * subarrays_per_bank * 128B"
+            )
+        phys = self.physical_regfile_bytes
+        if phys is not None:
+            if phys <= 0 or phys > self.regfile_bytes:
+                raise ConfigError(
+                    "physical_regfile_bytes must be in (0, regfile_bytes]"
+                )
+            if phys % (self.num_banks * BYTES_PER_WARP_REGISTER):
+                raise ConfigError(
+                    "physical_regfile_bytes must be a multiple of "
+                    "num_banks * 128B"
+                )
+        if self.allocation_policy not in ("consolidate", "scatter"):
+            raise ConfigError(
+                f"unknown allocation_policy '{self.allocation_policy}'"
+            )
+        if self.throttle_policy not in ("assigned", "mapped"):
+            raise ConfigError(
+                f"unknown throttle_policy '{self.throttle_policy}'"
+            )
+        if self.scheduler_policy not in ("two_level", "loose_rr", "gto"):
+            raise ConfigError(
+                f"unknown scheduler_policy '{self.scheduler_policy}'"
+            )
+        if self.rfc_entries_per_warp < 0:
+            raise ConfigError("rfc_entries_per_warp must be >= 0")
+        if self.rfc_entries_per_warp and self.renaming_enabled:
+            raise ConfigError(
+                "the register file cache baseline and register "
+                "virtualization are alternatives; enable one"
+            )
+
+    # --- derived geometry -------------------------------------------------------
+    @property
+    def total_architected_registers(self) -> int:
+        """Warp-granularity registers the architected RF can name."""
+        return self.regfile_bytes // BYTES_PER_WARP_REGISTER
+
+    @property
+    def total_physical_registers(self) -> int:
+        """Warp-granularity registers physically present."""
+        phys = self.physical_regfile_bytes
+        if phys is None:
+            phys = self.regfile_bytes
+        return phys // BYTES_PER_WARP_REGISTER
+
+    @property
+    def registers_per_bank(self) -> int:
+        """Physical warp-registers in one main register bank."""
+        return self.total_physical_registers // self.num_banks
+
+    @property
+    def registers_per_subarray(self) -> int:
+        """Gating granularity: registers per sub-array.
+
+        Fixed by the *architected* geometry (Fig. 8's 4x4 grid on the
+        full-size RF) so that GPU-shrink variants gate at the same
+        granularity; an under-provisioned bank simply has fewer
+        sub-arrays, the last of which may be partial.
+        """
+        architected_per_bank = (
+            self.total_architected_registers // self.num_banks
+        )
+        return architected_per_bank // self.subarrays_per_bank
+
+    @property
+    def physical_subarrays_per_bank(self) -> int:
+        """Sub-arrays actually present per bank (last may be partial)."""
+        return math.ceil(self.registers_per_bank / self.registers_per_subarray)
+
+    @property
+    def total_subarrays(self) -> int:
+        return self.num_banks * self.physical_subarrays_per_bank
+
+    @property
+    def is_underprovisioned(self) -> bool:
+        return self.total_physical_registers < self.total_architected_registers
+
+    @property
+    def renaming_table_bits(self) -> int:
+        return self.renaming_table_bytes * 8
+
+    # --- constructors --------------------------------------------------------------
+    @classmethod
+    def baseline(cls, **overrides) -> "GPUConfig":
+        """The conventional GPU: 128 KB RF, no renaming, no gating."""
+        return cls(**overrides)
+
+    @classmethod
+    def renamed(cls, **overrides) -> "GPUConfig":
+        """Register virtualization on a fully provisioned RF."""
+        overrides.setdefault("renaming_enabled", True)
+        return cls(**overrides)
+
+    @classmethod
+    def shrunk(cls, fraction: float = 0.5, **overrides) -> "GPUConfig":
+        """GPU-shrink: virtualization + under-provisioned physical RF.
+
+        ``fraction`` is the physical/architected size ratio; the paper's
+        headline configuration is 0.5 (64 KB instead of 128 KB), with
+        0.6 and 0.7 evaluated as GPU-shrink-40%/-30%. The physical size
+        is rounded to a whole number of registers per bank.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ConfigError("fraction must be in (0, 1]")
+        overrides.setdefault("renaming_enabled", True)
+        base = cls(**overrides)
+        bank_granule = base.num_banks * BYTES_PER_WARP_REGISTER
+        phys_bytes = int(base.regfile_bytes * fraction)
+        phys_bytes -= phys_bytes % bank_granule
+        phys_bytes = max(bank_granule, phys_bytes)
+        return dataclasses.replace(
+            base, physical_regfile_bytes=phys_bytes
+        )
+
+    def replace(self, **changes) -> "GPUConfig":
+        """Return a copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)

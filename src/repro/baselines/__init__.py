@@ -1,0 +1,23 @@
+"""Comparison baselines the paper evaluates against.
+
+* :mod:`repro.baselines.compiler_spill` — naively halving the register
+  file and recompiling with register spills (Fig. 11a's second bar).
+* :mod:`repro.baselines.hardware_only` — the hardware-only dynamic
+  allocation/deallocation scheme of the Tarjan/Skadron patent [46],
+  which releases a physical register only when its architected register
+  is redefined (Fig. 15).
+"""
+
+from repro.baselines.compiler_spill import (
+    SpillBaselineResult,
+    run_compiler_spill,
+    spill_register_budget,
+)
+from repro.baselines.hardware_only import run_hardware_only
+
+__all__ = [
+    "SpillBaselineResult",
+    "run_compiler_spill",
+    "spill_register_budget",
+    "run_hardware_only",
+]

@@ -1,0 +1,78 @@
+"""The compiler-spill baseline: a naively shrunk register file.
+
+To run on a GPU whose register file was simply halved (no renaming),
+an application that needs more registers than fit must be recompiled
+to a smaller per-thread budget, spilling the excess to memory
+(Section 8.1's comparison; "Compiler spill" in Fig. 11a).
+
+The per-thread budget keeps the benchmark's CTA occupancy unchanged —
+the paper recompiles "to use less than 64KB registers" with the same
+launch configuration::
+
+    budget = floor(physical_warp_registers / resident_warps)
+
+Applications already fitting the shrunk file run unmodified (VectorAdd,
+BFS, Gaussian and LIB in the paper, which see zero overhead).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.compiler.spill import SpillResult, spill_to_budget
+from repro.isa.kernel import Kernel
+from repro.launch import LaunchConfig
+from repro.sim.gpu import SimulationResult, simulate
+
+
+@dataclass
+class SpillBaselineResult:
+    """Outcome of the compiler-spill baseline for one kernel."""
+
+    simulation: SimulationResult
+    spill: SpillResult
+    register_budget: int
+
+    @property
+    def spilled(self) -> bool:
+        return self.spill.spilled
+
+
+def spill_register_budget(
+    kernel: Kernel, launch: LaunchConfig, config: GPUConfig
+) -> int:
+    """Per-thread register budget on the shrunk file at full occupancy."""
+    warps = launch.warps_per_cta(config.warp_size)
+    conc = launch.conc_ctas_per_sm or 1
+    resident_warps = warps * conc
+    return max(1, config.total_architected_registers // resident_warps)
+
+
+def run_compiler_spill(
+    kernel: Kernel,
+    launch: LaunchConfig,
+    shrunk_bytes: int = 64 * 1024,
+    base_config: GPUConfig | None = None,
+    **simulate_kwargs,
+) -> SpillBaselineResult:
+    """Recompile ``kernel`` for a ``shrunk_bytes`` file and simulate it.
+
+    The returned simulation runs in ``baseline`` mode (no renaming) on
+    a conventionally managed register file of the shrunk size.
+    """
+    base = base_config or GPUConfig.baseline()
+    config = base.replace(
+        regfile_bytes=shrunk_bytes,
+        physical_regfile_bytes=None,
+        renaming_enabled=False,
+        gating_enabled=False,
+    )
+    budget = spill_register_budget(kernel, launch, config)
+    spill = spill_to_budget(kernel, budget)
+    result = simulate(
+        spill.kernel, launch, config, mode="baseline", **simulate_kwargs
+    )
+    return SpillBaselineResult(
+        simulation=result, spill=spill, register_budget=budget
+    )

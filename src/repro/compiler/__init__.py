@@ -1,0 +1,46 @@
+"""Compiler passes for register lifetime analysis and flag generation.
+
+The pipeline (Section 6 of the paper) is:
+
+1. :mod:`repro.compiler.cfg` — basic blocks and control-flow graph.
+2. :mod:`repro.compiler.dominators` — postdominator tree, used both for
+   branch reconvergence points and to find the *unconditional spine*
+   (blocks that postdominate the entry), where per-instruction releases
+   are safe under lock-step warp execution.
+3. :mod:`repro.compiler.liveness` — classic backward dataflow liveness.
+4. :mod:`repro.compiler.release` — per-register release points: last
+   reads on the unconditional spine become ``pir`` flags; deaths inside
+   diverged flows are hoisted to the reconvergence point as ``pbr``
+   releases (Fig. 4 cases).
+5. :mod:`repro.compiler.lifetime` — static value-instance lifetimes,
+   used by candidate selection and by the Fig. 2/14 analyses.
+6. :mod:`repro.compiler.selection` — renaming-candidate selection under
+   the 1 KB renaming-table budget; exempted registers are renumbered to
+   the lowest ids (Section 7.1).
+7. :mod:`repro.compiler.flags` — materializes 64-bit ``PIR``/``PBR``
+   metadata instructions into the code.
+8. :mod:`repro.compiler.spill` — the compiler-spill baseline rewriter.
+
+:func:`repro.compiler.pipeline.compile_kernel` drives all of it.
+"""
+
+from repro.compiler.cfg import BasicBlock, ControlFlowGraph
+from repro.compiler.liveness import LivenessAnalysis
+from repro.compiler.release import ReleasePlan, compute_release_plan
+from repro.compiler.lifetime import RegisterProfile, profile_registers
+from repro.compiler.selection import SelectionResult, select_renaming_candidates
+from repro.compiler.pipeline import CompiledKernel, compile_kernel
+
+__all__ = [
+    "BasicBlock",
+    "ControlFlowGraph",
+    "LivenessAnalysis",
+    "ReleasePlan",
+    "compute_release_plan",
+    "RegisterProfile",
+    "profile_registers",
+    "SelectionResult",
+    "select_renaming_candidates",
+    "CompiledKernel",
+    "compile_kernel",
+]

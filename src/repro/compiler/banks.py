@@ -1,0 +1,41 @@
+"""Compiler register-bank assignment (Section 7.1).
+
+GPU compilers distribute instruction operands across the register
+banks to avoid operand-collector bank conflicts; the paper preserves
+this by restricting renaming to the bank the compiler assigned. We use
+the conventional modulo mapping — architected register ``r`` of warp
+``w`` belongs to bank ``(r + w) % num_banks`` (the warp skew mirrors how
+real GPUs stripe consecutive warps so that the same-numbered register
+of different warps does not contend for one bank).
+"""
+
+from __future__ import annotations
+
+from repro.isa.kernel import Kernel
+
+
+def bank_of(reg: int, warp_id: int, num_banks: int) -> int:
+    """Bank the compiler intends register ``reg`` of ``warp_id`` to use."""
+    return (reg + warp_id) % num_banks
+
+
+def operand_bank_conflicts(kernel: Kernel, num_banks: int) -> int:
+    """Static count of intra-instruction operand bank conflicts.
+
+    Two source operands of one instruction that live in the same bank
+    serialize their operand-collector reads. The compiler's modulo
+    assignment makes this warp-independent, so warp 0 is representative.
+    """
+    conflicts = 0
+    for inst in kernel.instructions:
+        banks = [bank_of(reg, 0, num_banks) for reg in set(inst.srcs)]
+        conflicts += len(banks) - len(set(banks))
+    return conflicts
+
+
+def bank_histogram(kernel: Kernel, num_banks: int) -> list[int]:
+    """How many of the kernel's registers map to each bank (warp 0)."""
+    histogram = [0] * num_banks
+    for reg in kernel.registers_used():
+        histogram[bank_of(reg, 0, num_banks)] += 1
+    return histogram

@@ -1,0 +1,157 @@
+"""Basic blocks and the control-flow graph.
+
+Blocks are maximal straight-line instruction runs. Leaders are the
+kernel entry, branch targets, and instructions following a branch or an
+``EXIT``. Conditional branches fall through to the next instruction;
+unconditional branches do not. ``EXIT`` blocks have no successors and
+are linked to a virtual exit node by the postdominator analysis.
+
+The CFG is built on code *without* metadata instructions; the flag
+materialization pass runs last, after all analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CfgError
+from repro.isa.instruction import Instruction
+from repro.isa.kernel import Kernel
+
+
+@dataclass
+class BasicBlock:
+    """A maximal single-entry straight-line region ``[start, end)``."""
+
+    index: int
+    start: int
+    end: int
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    def pcs(self) -> range:
+        return range(self.start, self.end)
+
+    def __len__(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:
+        return (
+            f"BasicBlock({self.index}, pc [{self.start},{self.end}), "
+            f"succ={self.successors})"
+        )
+
+
+class ControlFlowGraph:
+    """CFG over a kernel's instruction list."""
+
+    def __init__(self, kernel: Kernel):
+        if kernel.has_metadata():
+            raise CfgError(
+                "build the CFG before metadata insertion "
+                f"({kernel.name} already contains pir/pbr)"
+            )
+        self.kernel = kernel
+        self.blocks: list[BasicBlock] = []
+        self._block_of_pc: list[int] = []
+        self._build()
+
+    # --- construction ---------------------------------------------------------
+    def _leaders(self) -> list[int]:
+        instructions = self.kernel.instructions
+        leaders = {0}
+        for pc, inst in enumerate(instructions):
+            if inst.is_branch:
+                if inst.target_pc is None:
+                    raise CfgError(f"unresolved branch at pc {pc}")
+                leaders.add(inst.target_pc)
+                if pc + 1 < len(instructions):
+                    leaders.add(pc + 1)
+            elif inst.info.is_exit and pc + 1 < len(instructions):
+                leaders.add(pc + 1)
+        return sorted(leaders)
+
+    def _build(self) -> None:
+        instructions = self.kernel.instructions
+        if not instructions:
+            raise CfgError("empty kernel")
+        leaders = self._leaders()
+        bounds = leaders + [len(instructions)]
+        for index in range(len(leaders)):
+            self.blocks.append(
+                BasicBlock(index, bounds[index], bounds[index + 1])
+            )
+        self._block_of_pc = [0] * len(instructions)
+        for block in self.blocks:
+            for pc in block.pcs():
+                self._block_of_pc[pc] = block.index
+        for block in self.blocks:
+            last = instructions[block.end - 1]
+            succs: list[int] = []
+            if last.is_branch:
+                succs.append(self._block_of_pc[last.target_pc])
+                if last.guard is not None and block.end < len(instructions):
+                    succs.append(self._block_of_pc[block.end])
+            elif last.info.is_exit:
+                pass  # terminal block
+            elif block.end < len(instructions):
+                succs.append(self._block_of_pc[block.end])
+            # Deduplicate while preserving order (branch to fall-through).
+            seen: set[int] = set()
+            for succ in succs:
+                if succ not in seen:
+                    seen.add(succ)
+                    block.successors.append(succ)
+                    self.blocks[succ].predecessors.append(block.index)
+
+    # --- queries ------------------------------------------------------------------
+    @property
+    def entry(self) -> BasicBlock:
+        return self.blocks[0]
+
+    def block_of(self, pc: int) -> BasicBlock:
+        """The block containing instruction ``pc``."""
+        return self.blocks[self._block_of_pc[pc]]
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        """Blocks with no successors (terminated by EXIT)."""
+        return [b for b in self.blocks if not b.successors]
+
+    def instructions_of(self, block: BasicBlock) -> list[Instruction]:
+        return self.kernel.instructions[block.start:block.end]
+
+    def reachable_blocks(self) -> set[int]:
+        """Block indices reachable from the entry."""
+        seen = {0}
+        stack = [0]
+        while stack:
+            for succ in self.blocks[stack.pop()].successors:
+                if succ not in seen:
+                    seen.add(succ)
+                    stack.append(succ)
+        return seen
+
+    def back_edges(self) -> list[tuple[int, int]]:
+        """(source, target) block pairs whose edge closes a loop.
+
+        Detected as edges to a block currently on the DFS stack; for the
+        reducible flow graphs our builder produces this matches natural
+        loop back edges.
+        """
+        color = [0] * len(self.blocks)  # 0 white, 1 gray, 2 black
+        edges: list[tuple[int, int]] = []
+
+        def visit(node: int) -> None:
+            color[node] = 1
+            for succ in self.blocks[node].successors:
+                if color[succ] == 0:
+                    visit(succ)
+                elif color[succ] == 1:
+                    edges.append((node, succ))
+            color[node] = 2
+
+        visit(0)
+        return edges
+
+    def __len__(self) -> int:
+        return len(self.blocks)

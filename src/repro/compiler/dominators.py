@@ -1,0 +1,124 @@
+"""Postdominator analysis and reconvergence points.
+
+GPUs reconverge a diverged warp at the *immediate postdominator* of the
+branch (the standard PDOM scheme GPGPU-Sim implements). The same tree
+also gives the "unconditional spine": blocks that postdominate the
+entry block execute with the full warp mask whenever control reaches
+them, so a per-instruction register release there can never starve
+lanes waiting on the other side of a divergence (Section 6.1's diverged
+flow cases).
+
+The implementation is classic iterative set-intersection dataflow on
+the reverse CFG with a virtual exit node joining all ``EXIT`` blocks.
+Kernels have tens of blocks, so the simple O(n^2) formulation is fine.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.errors import CfgError
+
+
+class PostDominators:
+    """Postdominator sets, tree, and reconvergence helpers for a CFG."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        num = len(cfg.blocks)
+        self._virtual_exit = num
+        self._pdom: list[set[int]] = []
+        self._ipdom: list[int | None] = []
+        self._compute()
+
+    # --- dataflow -------------------------------------------------------------
+    def _compute(self) -> None:
+        cfg = self.cfg
+        num = len(cfg.blocks)
+        exit_blocks = [b.index for b in cfg.exit_blocks()]
+        if not exit_blocks:
+            raise CfgError("kernel has no exit block")
+        reachable = cfg.reachable_blocks()
+        everything = set(reachable) | {self._virtual_exit}
+
+        pdom: list[set[int]] = [set(everything) for _ in range(num)]
+        for index in range(num):
+            if index not in reachable:
+                pdom[index] = {index}
+
+        def successors(index: int) -> list[int]:
+            block = cfg.blocks[index]
+            if not block.successors:
+                return [self._virtual_exit]
+            return block.successors
+
+        exit_set = {self._virtual_exit}
+        changed = True
+        while changed:
+            changed = False
+            for index in sorted(reachable, reverse=True):
+                succ_sets = [
+                    pdom[s] if s != self._virtual_exit else exit_set
+                    for s in successors(index)
+                ]
+                new = set.intersection(*succ_sets) | {index}
+                if new != pdom[index]:
+                    pdom[index] = new
+                    changed = True
+        self._pdom = pdom
+        self._ipdom = [self._immediate(i, reachable) for i in range(num)]
+        entry = cfg.entry.index
+        # Blocks on the unconditional spine: those that postdominate entry.
+        self._unconditional = {
+            index for index in reachable if index in pdom[entry]
+        }
+
+    def _immediate(self, index: int, reachable: set[int]) -> int | None:
+        """Immediate postdominator: the nearest strict postdominator."""
+        if index not in reachable:
+            return None
+        strict = self._pdom[index] - {index, self._virtual_exit}
+        # The immediate postdominator is the strict postdominator nearest
+        # to the node: every other strict postdominator postdominates it.
+        candidate = None
+        for node in strict:
+            if all(
+                other == node or other in self._pdom[node]
+                for other in strict
+            ):
+                candidate = node
+                break
+        return candidate
+
+    # --- queries -----------------------------------------------------------------
+    def postdominates(self, node: int, over: int) -> bool:
+        """True iff block ``node`` postdominates block ``over``."""
+        return node in self._pdom[over]
+
+    def ipdom(self, block: int) -> int | None:
+        """Immediate postdominator block index (None at program exit)."""
+        return self._ipdom[block]
+
+    def reconvergence_block(self, branch_block: int) -> int | None:
+        """Reconvergence point of a branch ending ``branch_block``."""
+        return self._ipdom[branch_block]
+
+    def unconditional_blocks(self) -> set[int]:
+        """Blocks that postdominate the entry block.
+
+        When a warp reaches such a block, every divergence opened since
+        kernel entry has reconverged, so the full thread mask is active
+        and register releases are safe.
+        """
+        return set(self._unconditional)
+
+    def hoist_target(self, block: int) -> int | None:
+        """Nearest postdominator of ``block`` on the unconditional spine.
+
+        This is where a register death observed inside a diverged flow
+        is released via a ``pbr`` flag (Fig. 4 b/c/e). Returns ``None``
+        when the chain ends at the virtual exit (release at CTA end).
+        """
+        node = block
+        while node is not None and node not in self._unconditional:
+            node = self._ipdom[node]
+        return node

@@ -1,0 +1,133 @@
+"""Materialize release metadata into PIR/PBR instructions (Section 6.2).
+
+Given a (possibly renaming-filtered) :class:`ReleasePlan`, this pass
+rewrites the kernel instruction stream:
+
+* At the start of every basic block that needs per-branch releases, one
+  or more ``PBR`` instructions are inserted, each carrying up to nine
+  6-bit register ids.
+* Within every basic block, a ``PIR`` instruction is inserted ahead of
+  each window of up to eighteen regular instructions *when at least one
+  instruction in the window carries a release flag* (an all-zero flag
+  word conveys nothing, so the compiler omits it).
+* Each regular instruction additionally gets its decoded
+  ``release_srcs`` tuple attached, which is what the simulator's decode
+  stage would extract from the covering ``PIR``.
+
+Branch targets are re-resolved so that branches jump to the metadata
+that begins a block, exactly as the hardware expects (the flag word is
+pre-processed by the Sched-info fetch stage before the covered
+instructions issue).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.dominators import PostDominators
+from repro.compiler.release import ReleasePlan
+from repro.errors import CompilerError
+from repro.isa import metadata
+from repro.isa.instruction import Instruction
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import Opcode
+
+
+def materialize_flags(
+    cfg: ControlFlowGraph,
+    plan: ReleasePlan,
+    pdom: PostDominators | None = None,
+) -> Kernel:
+    """Insert PIR/PBR metadata instructions; returns the same kernel.
+
+    The kernel is rewritten in place: its instruction list grows, labels
+    are re-pointed, PCs/branch targets are re-resolved, and conditional
+    branches are annotated with their reconvergence PC (which moves when
+    metadata lands at block starts).
+    """
+    kernel = cfg.kernel
+    if kernel is not plan.kernel:
+        raise CompilerError("plan was computed for a different kernel")
+    if kernel.has_metadata():
+        raise CompilerError("kernel already contains metadata instructions")
+    pdom = pdom or PostDominators(cfg)
+    reconv_block_of: dict[int, int | None] = {}
+    for block in cfg.blocks:
+        last = kernel.instructions[block.end - 1]
+        if last.is_conditional_branch:
+            reconv_block_of[block.end - 1] = pdom.reconvergence_block(
+                block.index
+            )
+
+    old_instructions = kernel.instructions
+    new_instructions: list[Instruction] = []
+    new_pc_of_old: dict[int, int] = {}
+    new_block_start: dict[int, int] = {}
+
+    for block in cfg.blocks:
+        new_block_start[block.index] = len(new_instructions)
+        for regs in _chunk(plan.pbr_regs.get(block.index, ()), metadata.PBR_CAPACITY):
+            pbr = Instruction(Opcode.PBR, payload=metadata.encode_pbr(list(regs)))
+            pbr.release_regs = tuple(regs)
+            new_instructions.append(pbr)
+        pcs = list(block.pcs())
+        for window_start in range(0, len(pcs), metadata.PIR_CAPACITY):
+            window = pcs[window_start:window_start + metadata.PIR_CAPACITY]
+            flag_sets = []
+            any_release = False
+            for pc in window:
+                flags = plan.pir_flags.get(pc, ())
+                flag_sets.append(tuple(flags))
+                any_release = any_release or any(flags)
+            if any_release:
+                pir = Instruction(
+                    Opcode.PIR, payload=metadata.encode_pir(flag_sets)
+                )
+                new_instructions.append(pir)
+            for pc in window:
+                inst = old_instructions[pc]
+                inst.release_srcs = plan.pir_flags.get(
+                    pc, (False,) * len(inst.srcs)
+                )
+                new_pc_of_old[pc] = len(new_instructions)
+                new_instructions.append(inst)
+
+    # Re-point labels: labels at a block start land on the block's first
+    # metadata instruction so branches fetch the flags; labels elsewhere
+    # follow their instruction.
+    block_start_old = {block.start: block.index for block in cfg.blocks}
+    new_labels: dict[str, int] = {}
+    for label, old_pc in kernel.labels.items():
+        if old_pc in block_start_old:
+            new_labels[label] = new_block_start[block_start_old[old_pc]]
+        elif old_pc in new_pc_of_old:
+            new_labels[label] = new_pc_of_old[old_pc]
+        else:  # label at end of code
+            new_labels[label] = len(new_instructions)
+
+    kernel.instructions = new_instructions
+    kernel.labels = new_labels
+    for inst in kernel.instructions:
+        inst.target_pc = None  # re-resolved below via labels
+    kernel.finalize()
+
+    # Re-anchor reconvergence PCs to the (possibly moved) block starts.
+    sentinel = len(new_instructions)
+    for old_pc, reconv_block in reconv_block_of.items():
+        branch = old_instructions[old_pc]
+        branch.reconv_pc = (
+            new_block_start[reconv_block]
+            if reconv_block is not None
+            else sentinel
+        )
+
+    # Branches created programmatically always carry a label; verify.
+    for inst in kernel.instructions:
+        if inst.is_branch and inst.target_pc is None:
+            raise CompilerError("branch lost its target during flag insertion")
+    return kernel
+
+
+def _chunk(items, size):
+    items = list(items)
+    for start in range(0, len(items), size):
+        yield items[start:start + size]

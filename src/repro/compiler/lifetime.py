@@ -1,0 +1,119 @@
+"""Static register value-lifetime estimation (Sections 4 and 7.1).
+
+The paper estimates a register's value lifetime at compile time by
+"counting the number of instructions between the write point and the
+next release point in the code". We reproduce that: for each definition
+of a register we scan forward in layout order for the first release
+site (a ``pir`` read flag or a ``pbr`` block release), falling back to
+the next redefinition and finally to the kernel end.
+
+The resulting :class:`RegisterProfile` drives renaming-candidate
+selection (long-lived registers and registers with many value instances
+are exempted first) and the Fig. 2a / Fig. 14 analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.release import ReleasePlan
+
+
+@dataclass
+class RegisterProfile:
+    """Static lifetime summary of one architected register."""
+
+    reg: int
+    #: Static definition count (value instances, Section 7.1).
+    num_instances: int = 0
+    #: Instruction-count lifetime estimate per value instance.
+    lifetimes: list[int] = field(default_factory=list)
+    #: True when some instance has no release point before kernel end.
+    ever_unreleased: bool = False
+
+    @property
+    def max_lifetime(self) -> int:
+        return max(self.lifetimes, default=0)
+
+    @property
+    def mean_lifetime(self) -> float:
+        if not self.lifetimes:
+            return 0.0
+        return sum(self.lifetimes) / len(self.lifetimes)
+
+    def is_long_lived(self, kernel_length: int, threshold: float = 0.5) -> bool:
+        """Lifetime spans a large fraction of the kernel, or never dies."""
+        if self.ever_unreleased:
+            return True
+        return self.max_lifetime >= threshold * kernel_length
+
+    def exemption_score(self, kernel_length: int) -> tuple:
+        """Sort key: higher = exempted from renaming first.
+
+        Renaming a long-lived register is not beneficial (it is rarely
+        reusable), and among similar lifetimes a register with more
+        value instances spends more time alive overall.
+        """
+        return (
+            1 if self.ever_unreleased else 0,
+            self.max_lifetime,
+            self.num_instances,
+        )
+
+
+def _release_pcs(plan: ReleasePlan, cfg: ControlFlowGraph) -> dict[int, list[int]]:
+    """reg -> sorted layout PCs where a release of that reg fires."""
+    sites: dict[int, list[int]] = {}
+    for pc, flags in plan.pir_flags.items():
+        inst = plan.kernel.instructions[pc]
+        for reg, flag in zip(inst.srcs, flags):
+            if flag:
+                sites.setdefault(reg, []).append(pc)
+    for block_index, regs in plan.pbr_regs.items():
+        block_start = cfg.blocks[block_index].start
+        for reg in regs:
+            sites.setdefault(reg, []).append(block_start)
+    for pcs in sites.values():
+        pcs.sort()
+    return sites
+
+
+def profile_registers(
+    cfg: ControlFlowGraph, plan: ReleasePlan
+) -> dict[int, RegisterProfile]:
+    """Build static lifetime profiles for every register in the kernel."""
+    kernel = cfg.kernel
+    length = len(kernel.instructions)
+    release_sites = _release_pcs(plan, cfg)
+
+    defs: dict[int, list[int]] = {}
+    for pc, inst in enumerate(kernel.instructions):
+        if inst.dst is not None:
+            defs.setdefault(inst.dst, []).append(pc)
+    # Registers that are only ever read (kernel inputs in our synthetic
+    # workloads) count as defined at entry.
+    for reg in kernel.registers_used():
+        defs.setdefault(reg, [0])
+
+    profiles: dict[int, RegisterProfile] = {}
+    for reg, def_pcs in defs.items():
+        profile = RegisterProfile(reg=reg, num_instances=len(def_pcs))
+        sites = release_sites.get(reg, [])
+        for index, def_pc in enumerate(def_pcs):
+            next_def = (
+                def_pcs[index + 1] if index + 1 < len(def_pcs) else length
+            )
+            release = next(
+                (pc for pc in sites if def_pc < pc <= next_def), None
+            )
+            if release is None:
+                # No static release before the next definition: bounded
+                # by the redefinition, or by kernel end for the last one.
+                profile.lifetimes.append(next_def - def_pc)
+                if index + 1 == len(def_pcs):
+                    profile.ever_unreleased = True
+            else:
+                profile.lifetimes.append(release - def_pc)
+        profiles[reg] = profile
+    return profiles

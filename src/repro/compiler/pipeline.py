@@ -1,0 +1,116 @@
+"""The compile driver: analyses -> selection -> renumber -> flags.
+
+:func:`compile_kernel` is the one entry point the rest of the library
+uses. It never mutates the input kernel; it returns a
+:class:`CompiledKernel` holding the rewritten code plus everything the
+simulator and the experiments need (selection outcome, release plan,
+static code-growth statistics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.dominators import PostDominators
+from repro.compiler.flags import materialize_flags
+from repro.compiler.lifetime import RegisterProfile, profile_registers
+from repro.compiler.liveness import LivenessAnalysis
+from repro.compiler.reconvergence import annotate_reconvergence
+from repro.compiler.release import ReleasePlan, compute_release_plan
+from repro.compiler.selection import (
+    SelectionResult,
+    apply_renumbering,
+    select_renaming_candidates,
+)
+from repro.compiler.validate import validate_release_plan
+from repro.isa.kernel import Kernel
+from repro.launch import LaunchConfig
+
+
+@dataclass
+class CompiledKernel:
+    """A kernel compiled for register virtualization."""
+
+    kernel: Kernel
+    launch: LaunchConfig
+    config: GPUConfig
+    selection: SelectionResult
+    plan: ReleasePlan
+    profiles: dict[int, RegisterProfile]
+    #: Static instruction count before metadata insertion.
+    static_instructions: int
+
+    @property
+    def renaming_threshold(self) -> int:
+        """Ids below this are exempt (direct-mapped); the ``N`` of 7.1."""
+        return self.selection.threshold
+
+    @property
+    def static_code_increase(self) -> float:
+        """Fractional static code growth due to pir/pbr (Fig. 13)."""
+        if not self.static_instructions:
+            return 0.0
+        return self.kernel.meta_count() / self.static_instructions
+
+    @property
+    def regs_per_thread(self) -> int:
+        return self.kernel.num_regs
+
+
+def compile_kernel(
+    kernel: Kernel,
+    launch: LaunchConfig,
+    config: GPUConfig,
+    insert_flags: bool = True,
+    edge_releases: bool = True,
+) -> CompiledKernel:
+    """Run the full Section-6/7.1 compile pipeline on ``kernel``.
+
+    With ``insert_flags=False`` the analyses and selection run but no
+    metadata is materialized — used by the baseline configurations and
+    by analyses that want release information without code growth.
+    ``edge_releases=False`` disables the loop/edge-death release pass
+    (ablation; see :func:`repro.compiler.release.compute_release_plan`).
+    """
+    work = kernel.clone()
+    work.validate()
+
+    # Pass 1: analyses on the original id space.
+    cfg = ControlFlowGraph(work)
+    pdom = PostDominators(cfg)
+    liveness = LivenessAnalysis(cfg)
+    plan = compute_release_plan(cfg, liveness, pdom, edge_releases)
+    profiles = profile_registers(cfg, plan)
+
+    # Pass 2: pick renaming candidates; renumber so exempt ids are lowest.
+    selection = select_renaming_candidates(work, launch, config, profiles)
+    apply_renumbering(work, selection.renumbering)
+
+    # Pass 3: recompute the plan on the renumbered ids and keep flags
+    # only for renamed registers.
+    cfg = ControlFlowGraph(work)
+    pdom = PostDominators(cfg)
+    liveness = LivenessAnalysis(cfg)
+    plan = compute_release_plan(cfg, liveness, pdom, edge_releases)
+    profiles = profile_registers(cfg, plan)
+    plan = plan.restrict_to(selection.renamed)
+    validate_release_plan(cfg, plan, liveness, pdom)
+
+    static_instructions = len(work.instructions)
+    if insert_flags:
+        materialize_flags(cfg, plan, pdom)
+        work.validate()
+    else:
+        annotate_reconvergence(cfg, pdom)
+
+    return CompiledKernel(
+        kernel=work,
+        launch=launch,
+        config=config,
+        selection=selection,
+        plan=plan,
+        profiles=profiles,
+        static_instructions=static_instructions,
+    )

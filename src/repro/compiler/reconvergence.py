@@ -1,0 +1,60 @@
+"""Reconvergence-point annotation for conditional branches.
+
+The simulator's SIMT stack needs every potentially divergent branch to
+carry the PC where its diverged paths reconverge — the start of the
+branch block's immediate postdominator (the standard PDOM scheme).
+``materialize_flags`` performs this annotation itself because metadata
+insertion moves block starts; this module covers kernels that run
+*without* metadata (the baseline, the hardware-only renaming baseline
+and the compiler-spill baseline).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.dominators import PostDominators
+from repro.errors import CompilerError
+from repro.isa.kernel import Kernel
+
+
+def annotate_reconvergence(
+    cfg: ControlFlowGraph, pdom: PostDominators | None = None
+) -> dict[int, int | None]:
+    """Set ``reconv_pc`` on every conditional branch of ``cfg.kernel``.
+
+    Returns a map of branch pc -> reconvergence block index (``None``
+    when all paths exit without reconverging, in which case the branch
+    gets a past-the-end sentinel PC that is never reached).
+    """
+    pdom = pdom or PostDominators(cfg)
+    kernel = cfg.kernel
+    sentinel = len(kernel.instructions)
+    reconv_blocks: dict[int, int | None] = {}
+    for block in cfg.blocks:
+        last = kernel.instructions[block.end - 1]
+        if not last.is_conditional_branch:
+            continue
+        reconv = pdom.reconvergence_block(block.index)
+        reconv_blocks[last.pc] = reconv
+        last.reconv_pc = (
+            cfg.blocks[reconv].start if reconv is not None else sentinel
+        )
+    return reconv_blocks
+
+
+def ensure_reconvergence(kernel: Kernel) -> None:
+    """Annotate ``kernel`` in place if any conditional branch lacks a
+    reconvergence PC. Kernels already containing metadata must have
+    been annotated by the compile pipeline."""
+    missing = any(
+        inst.is_conditional_branch and inst.reconv_pc is None
+        for inst in kernel.instructions
+    )
+    if not missing:
+        return
+    if kernel.has_metadata():
+        raise CompilerError(
+            f"{kernel.name}: metadata present but branches lack "
+            "reconvergence points; use compile_kernel()"
+        )
+    annotate_reconvergence(ControlFlowGraph(kernel))

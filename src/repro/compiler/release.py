@@ -1,0 +1,212 @@
+"""Register release-point computation (Section 6.1, Fig. 4).
+
+For every source operand whose register dies at the read, the release
+point depends on where the death happens:
+
+* **Intra-basic-block / unconditional flow** (Fig. 4a, e): the reading
+  instruction's block postdominates the kernel entry, so the warp's
+  full mask is active and the register is released *at the read* via a
+  per-instruction release flag (``pir``).
+* **Diverged flows** (Fig. 4b, c): the death sits inside a conditionally
+  executed region. Because a warp traverses both sides of a divergence
+  sequentially, releasing on the first-executed side would corrupt the
+  other side. The release is hoisted to the nearest postdominator on
+  the unconditional spine — the reconvergence point — and recorded as a
+  per-branch release flag (``pbr``).
+* **Loop-carried values** (Fig. 4d): liveness keeps the register alive
+  around the back edge, so the death (and therefore the release) only
+  appears after the loop.
+
+A hoisted release is dropped when the register is live again at the
+reconvergence point (the sibling path redefined it): the storage is
+simply taken over by the new value instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.dominators import PostDominators
+from repro.compiler.liveness import LivenessAnalysis
+from repro.isa.kernel import Kernel
+
+
+@dataclass
+class ReleasePlan:
+    """Where every renamed register's value instances are released."""
+
+    kernel: Kernel
+    #: pc -> per-source-operand release flags (aligned with inst.srcs).
+    pir_flags: dict[int, tuple[bool, ...]] = field(default_factory=dict)
+    #: block index -> sorted register ids released on block entry.
+    pbr_regs: dict[int, tuple[int, ...]] = field(default_factory=dict)
+    #: registers never released before CTA completion.
+    unreleased: set[int] = field(default_factory=set)
+    #: deaths whose hoisted release was suppressed by a sibling redefinition.
+    suppressed: int = 0
+
+    def released_registers(self) -> set[int]:
+        """Registers with at least one pir or pbr release site."""
+        regs: set[int] = set()
+        for pc, flags in self.pir_flags.items():
+            inst = self.kernel.instructions[pc]
+            regs.update(
+                reg for reg, flag in zip(inst.srcs, flags) if flag
+            )
+        for block_regs in self.pbr_regs.values():
+            regs.update(block_regs)
+        return regs
+
+    def restrict_to(self, renamed: set[int]) -> "ReleasePlan":
+        """A copy of the plan keeping only flags for ``renamed`` regs.
+
+        The compiler only emits release metadata for the registers
+        selected for renaming (Section 7.1); exempted registers are
+        never released.
+        """
+        pir: dict[int, tuple[bool, ...]] = {}
+        for pc, flags in self.pir_flags.items():
+            inst = self.kernel.instructions[pc]
+            filtered = tuple(
+                flag and reg in renamed
+                for reg, flag in zip(inst.srcs, flags)
+            )
+            if any(filtered):
+                pir[pc] = filtered
+        pbr = {}
+        for block, regs in self.pbr_regs.items():
+            kept = tuple(reg for reg in regs if reg in renamed)
+            if kept:
+                pbr[block] = kept
+        unreleased = set(self.unreleased)
+        unreleased.update(self.kernel.registers_used() - renamed)
+        return ReleasePlan(
+            kernel=self.kernel,
+            pir_flags=pir,
+            pbr_regs=pbr,
+            unreleased=unreleased,
+            suppressed=self.suppressed,
+        )
+
+    # --- statistics used by the evaluation ---------------------------------
+    def pir_site_count(self) -> int:
+        return sum(sum(flags) for flags in self.pir_flags.values())
+
+    def pbr_site_count(self) -> int:
+        return sum(len(regs) for regs in self.pbr_regs.values())
+
+    def mean_pbr_registers(self) -> float:
+        """Average registers per pbr flag (paper reports ~2)."""
+        if not self.pbr_regs:
+            return 0.0
+        total = sum(len(regs) for regs in self.pbr_regs.values())
+        return total / len(self.pbr_regs)
+
+
+def compute_release_plan(
+    cfg: ControlFlowGraph,
+    liveness: LivenessAnalysis | None = None,
+    pdom: PostDominators | None = None,
+    edge_releases: bool = True,
+) -> ReleasePlan:
+    """Compute pir/pbr release points for every register of the kernel.
+
+    ``edge_releases=False`` disables the edge-death pass (loop-carried
+    registers are then never released before CTA completion) — an
+    ablation quantifying how much of the saving the Fig. 4d loop case
+    contributes.
+    """
+    kernel = cfg.kernel
+    liveness = liveness or LivenessAnalysis(cfg)
+    pdom = pdom or PostDominators(cfg)
+    unconditional = pdom.unconditional_blocks()
+
+    plan = ReleasePlan(kernel=kernel)
+    pbr_sets: dict[int, set[int]] = {}
+    released: set[int] = set()
+
+    for block in cfg.blocks:
+        in_spine = block.index in unconditional
+        for pc in block.pcs():
+            dead = liveness.dead_source_operands(pc)
+            if not any(dead):
+                continue
+            inst = kernel.instructions[pc]
+            if in_spine and inst.guard is None:
+                plan.pir_flags[pc] = dead
+                released.update(
+                    reg for reg, flag in zip(inst.srcs, dead) if flag
+                )
+                continue
+            # Death inside a diverged flow (or behind a predicate guard):
+            # hoist to the reconvergence point on the unconditional spine.
+            if in_spine:
+                # Guarded read on the spine: release at the *next* spine
+                # block, strictly after the read.
+                next_block = pdom.ipdom(block.index)
+                target = (
+                    None if next_block is None
+                    else pdom.hoist_target(next_block)
+                )
+            else:
+                target = pdom.hoist_target(block.index)
+            for reg, flag in zip(inst.srcs, dead):
+                if not flag:
+                    continue
+                if target is None:
+                    plan.unreleased.add(reg)
+                elif (liveness.block_in_mask(target) >> reg) & 1:
+                    plan.suppressed += 1
+                else:
+                    pbr_sets.setdefault(target, set()).add(reg)
+                    released.add(reg)
+
+    # Edge deaths: a register live out of a predecessor but dead on
+    # entry to the successor dies "in transit" — the Fig. 4d loop case
+    # (a loop-carried register is only dead once all iterations finish,
+    # i.e. on the loop-exit edge) and the untaken side of a divergence.
+    # It is released at the successor's spine reconvergence point.
+    #
+    # Loop headers are skipped: a register dead on entry to a loop
+    # header is redefined inside the loop before any use, so its
+    # storage is reclaimed in place by the write — a pbr there would be
+    # decoded every iteration for no register saving.
+    loop_headers = {target for _, target in cfg.back_edges()}
+    for block in cfg.blocks:
+        if not edge_releases:
+            break
+        if not block.predecessors or block.index in loop_headers:
+            continue
+        incoming = 0
+        for pred in block.predecessors:
+            incoming |= liveness.block_out_mask(pred)
+        dead_mask = incoming & ~liveness.block_in_mask(block.index)
+        if not dead_mask:
+            continue
+        target = (
+            block.index
+            if block.index in unconditional
+            else pdom.hoist_target(block.index)
+        )
+        reg = 0
+        while dead_mask:
+            if dead_mask & 1:
+                if target is None:
+                    plan.unreleased.add(reg)
+                elif target != block.index and (
+                    liveness.block_in_mask(target) >> reg
+                ) & 1:
+                    plan.suppressed += 1
+                else:
+                    pbr_sets.setdefault(target, set()).add(reg)
+                    released.add(reg)
+            dead_mask >>= 1
+            reg += 1
+
+    plan.pbr_regs = {
+        block: tuple(sorted(regs)) for block, regs in pbr_sets.items()
+    }
+    plan.unreleased |= kernel.registers_used() - released
+    plan.unreleased -= released
+    return plan

@@ -1,0 +1,132 @@
+"""Renaming-candidate selection under the renaming-table budget.
+
+Section 7.1: a full renaming table (48 warps x 63 registers x 10 bits
+= 3.8 KB) is shrunk to 1 KB by exempting registers that benefit least
+from renaming — long-lived registers and registers with many value
+instances. Exempted registers are renumbered to the lowest ``N`` ids and
+direct-mapped (warp ``w``'s exempt register ``i`` lives at physical
+register ``w * N + i``), so the hardware only stores mappings for ids
+``>= N``.
+
+The table holds one entry per (resident warp, renamed register), so the
+number of renameable registers is::
+
+    max_renamed = floor(table_bits / (entry_bits * resident_warps))
+
+With the paper's launch shapes this reproduces the reported exemptions:
+MUM renames 17 of 19 registers, Heartwall 25 of 29.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch import GPUConfig
+from repro.compiler.lifetime import RegisterProfile
+from repro.errors import CompilerError
+from repro.isa.kernel import Kernel
+from repro.launch import LaunchConfig
+
+
+@dataclass
+class SelectionResult:
+    """Outcome of renaming-candidate selection for one kernel launch."""
+
+    #: Register ids (after renumbering) that participate in renaming.
+    renamed: set[int]
+    #: Register ids (after renumbering) that are direct-mapped.
+    exempt: set[int]
+    #: The hardware threshold N: ids < N are exempt.
+    threshold: int
+    #: Renumbering applied to the kernel: old id -> new id.
+    renumbering: dict[int, int]
+    #: Resident warps the table must cover.
+    resident_warps: int
+    #: Table bytes needed to rename *all* registers (Fig. 14, left).
+    unconstrained_table_bytes: int
+    #: Table bytes actually used by the selected registers.
+    table_bytes_used: int
+
+    @property
+    def num_renamed(self) -> int:
+        return len(self.renamed)
+
+    @property
+    def num_exempt(self) -> int:
+        return len(self.exempt)
+
+
+def unconstrained_table_bytes(
+    kernel: Kernel, launch: LaunchConfig, config: GPUConfig
+) -> int:
+    """Renaming-table size with no budget: every register renamed."""
+    warps = launch.resident_warps(config, kernel.num_regs)
+    regs = len(kernel.registers_used())
+    bits = warps * regs * config.renaming_entry_bits
+    return (bits + 7) // 8
+
+
+def select_renaming_candidates(
+    kernel: Kernel,
+    launch: LaunchConfig,
+    config: GPUConfig,
+    profiles: dict[int, RegisterProfile],
+) -> SelectionResult:
+    """Choose which registers are renamed and renumber the id space."""
+    regs = sorted(kernel.registers_used())
+    if any(reg not in profiles for reg in regs):
+        raise CompilerError("profiles missing for some registers")
+    warps = launch.resident_warps(config, kernel.num_regs)
+    entry_bits = config.renaming_entry_bits
+    capacity_entries = config.renaming_table_bits // entry_bits
+    max_renamed = capacity_entries // warps if warps else len(regs)
+
+    kernel_length = len(kernel.instructions)
+    if len(regs) <= max_renamed:
+        exempt_old: list[int] = []
+    else:
+        num_exempt = len(regs) - max_renamed
+        by_benefit = sorted(
+            regs,
+            key=lambda reg: profiles[reg].exemption_score(kernel_length),
+            reverse=True,
+        )
+        exempt_old = sorted(by_benefit[:num_exempt])
+
+    renamed_old = [reg for reg in regs if reg not in set(exempt_old)]
+    # Exempt registers take the lowest ids, preserving relative order;
+    # renamed registers follow.
+    renumbering: dict[int, int] = {}
+    for new_id, old_id in enumerate(exempt_old + renamed_old):
+        renumbering[old_id] = new_id
+    threshold = len(exempt_old)
+    renamed_new = {renumbering[reg] for reg in renamed_old}
+    exempt_new = {renumbering[reg] for reg in exempt_old}
+
+    used_bits = len(renamed_new) * warps * entry_bits
+    return SelectionResult(
+        renamed=renamed_new,
+        exempt=exempt_new,
+        threshold=threshold,
+        renumbering=renumbering,
+        resident_warps=warps,
+        unconstrained_table_bytes=unconstrained_table_bytes(
+            kernel, launch, config
+        ),
+        table_bytes_used=(used_bits + 7) // 8,
+    )
+
+
+def apply_renumbering(kernel: Kernel, renumbering: dict[int, int]) -> Kernel:
+    """Rewrite every register id in ``kernel`` (in place) per the map.
+
+    Ids not present in the map are left untouched (they do not occur in
+    the code). Returns the kernel for chaining.
+    """
+    if all(old == new for old, new in renumbering.items()):
+        return kernel
+    for inst in kernel.instructions:
+        inst.srcs = tuple(renumbering.get(reg, reg) for reg in inst.srcs)
+        if inst.dst is not None:
+            inst.dst = renumbering.get(inst.dst, inst.dst)
+    return kernel

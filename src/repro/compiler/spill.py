@@ -1,0 +1,211 @@
+"""Compiler-enforced register-budget spilling (the Fig. 11a baseline).
+
+When the physical register file is naively halved, the compiler must
+recompile kernels to use fewer registers, spilling the excess to
+memory. This pass reproduces that baseline: given a per-thread register
+budget, it evicts *victim* registers to per-thread global-memory spill
+slots, reserving four registers:
+
+* ``r_base`` — per-thread spill base address, computed in a prologue
+  from ``(ctaid * ntid + tid) << log2(slot stride)`` plus a constant.
+* three scratch registers — fills for up to three source operands plus
+  the (read-complete-before-write) destination of one instruction.
+
+Every read of a victim becomes an ``LDG`` fill into a scratch register;
+every write becomes a write to scratch followed by an ``STG`` spill.
+Guards are inherited so predicated-off lanes neither fill nor spill.
+
+Victim choice follows the classic cost heuristic: fewest static uses
+first (least inserted code), breaking ties toward longer lifetimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SpillError
+from repro.isa.instruction import Instruction
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import MemSpace, Opcode, Special
+
+#: Registers reserved by the spill rewriter (base + three scratch).
+RESERVED_REGS = 4
+#: Global-memory region where spill slots live, clear of workload data.
+SPILL_BASE_ADDRESS = 0x4000_0000
+
+
+@dataclass
+class SpillResult:
+    """A spilled kernel plus accounting of the rewrite."""
+
+    kernel: Kernel
+    victims: tuple[int, ...]
+    fills_inserted: int = 0
+    spills_inserted: int = 0
+    #: old reg id -> new id, for surviving registers only.
+    renumbering: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def spilled(self) -> bool:
+        return bool(self.victims)
+
+
+def _use_counts(kernel: Kernel) -> dict[int, int]:
+    counts: dict[int, int] = {}
+    for inst in kernel.instructions:
+        for reg in inst.srcs:
+            counts[reg] = counts.get(reg, 0) + 1
+    return counts
+
+
+def _live_span(kernel: Kernel, reg: int) -> int:
+    """Static distance between first and last reference (crude lifetime)."""
+    pcs = [
+        pc
+        for pc, inst in enumerate(kernel.instructions)
+        if reg in inst.srcs or inst.dst == reg
+    ]
+    if not pcs:
+        return 0
+    return pcs[-1] - pcs[0]
+
+
+def spill_to_budget(kernel: Kernel, max_regs: int) -> SpillResult:
+    """Rewrite ``kernel`` to use at most ``max_regs`` registers.
+
+    Returns the rewritten clone; the input is untouched. Raises
+    :class:`SpillError` when the budget cannot be met (fewer than one
+    application register would remain after the reserved four).
+    """
+    regs = sorted(kernel.registers_used())
+    if len(regs) <= max_regs:
+        return SpillResult(kernel=kernel.clone(), victims=())
+    survivors_budget = max_regs - RESERVED_REGS
+    if survivors_budget < 1:
+        raise SpillError(
+            f"budget {max_regs} leaves no application registers "
+            f"({RESERVED_REGS} reserved for spill plumbing)"
+        )
+    num_victims = len(regs) - survivors_budget
+
+    uses = _use_counts(kernel)
+    by_cost = sorted(
+        regs,
+        key=lambda reg: (uses.get(reg, 0), -_live_span(kernel, reg)),
+    )
+    victims = tuple(sorted(by_cost[:num_victims]))
+    victim_slot = {reg: slot for slot, reg in enumerate(victims)}
+
+    survivors = [reg for reg in regs if reg not in victim_slot]
+    renumbering = {old: new for new, old in enumerate(survivors)}
+    base_reg = len(survivors)
+    scratch = (base_reg + 1, base_reg + 2, base_reg + 3)
+
+    slot_stride = 1
+    while slot_stride < 4 * num_victims:
+        slot_stride <<= 1
+    shift = slot_stride.bit_length() - 1
+
+    out = Kernel(
+        name=kernel.name,
+        num_preds=kernel.num_preds,
+        shared_bytes=kernel.shared_bytes,
+    )
+    result = SpillResult(kernel=out, victims=victims, renumbering=renumbering)
+
+    _emit_prologue(out, base_reg, scratch[0], shift)
+    new_pc_of_old: dict[int, int] = {}
+    for old_pc, inst in enumerate(kernel.instructions):
+        new_pc_of_old[old_pc] = len(out.instructions)
+        _rewrite_instruction(
+            out, inst, victim_slot, renumbering, base_reg, scratch, result
+        )
+    for label, old_pc in kernel.labels.items():
+        out.labels[label] = new_pc_of_old.get(old_pc, len(out.instructions))
+    out.finalize()
+    out.validate()
+    return result
+
+
+def _emit_prologue(out: Kernel, base: int, scratch: int, shift: int) -> None:
+    """base = ((ctaid * ntid + tid) << shift) + SPILL_BASE_ADDRESS."""
+    emit = out.instructions.append
+    emit(Instruction(Opcode.S2R, dst=base, special=Special.CTAID))
+    emit(Instruction(Opcode.S2R, dst=scratch, special=Special.NTID))
+    emit(Instruction(Opcode.IMUL, dst=base, srcs=(base, scratch)))
+    emit(Instruction(Opcode.S2R, dst=scratch, special=Special.TID))
+    emit(Instruction(Opcode.IADD, dst=base, srcs=(base, scratch)))
+    emit(Instruction(Opcode.SHL, dst=base, srcs=(base,), imm=shift))
+    emit(Instruction(Opcode.MOVI, dst=scratch, imm=SPILL_BASE_ADDRESS))
+    emit(Instruction(Opcode.IADD, dst=base, srcs=(base, scratch)))
+
+
+def _rewrite_instruction(
+    out: Kernel,
+    inst: Instruction,
+    victim_slot: dict[int, int],
+    renumbering: dict[int, int],
+    base: int,
+    scratch: tuple[int, int, int],
+    result: SpillResult,
+) -> None:
+    emit = out.instructions.append
+    new_srcs: list[int] = []
+    fill_of: dict[int, int] = {}
+    next_scratch = 0
+    for reg in inst.srcs:
+        if reg in victim_slot:
+            if reg not in fill_of:
+                if next_scratch >= len(scratch):
+                    raise SpillError("more spilled sources than scratch regs")
+                fill_of[reg] = scratch[next_scratch]
+                next_scratch += 1
+                emit(Instruction(
+                    Opcode.LDG,
+                    dst=fill_of[reg],
+                    srcs=(base,),
+                    offset=4 * victim_slot[reg],
+                    space=MemSpace.GLOBAL,
+                    guard=inst.guard,
+                ))
+                result.fills_inserted += 1
+            new_srcs.append(fill_of[reg])
+        else:
+            new_srcs.append(renumbering[reg])
+
+    new_dst = inst.dst
+    spill_dst_slot = None
+    if inst.dst is not None:
+        if inst.dst in victim_slot:
+            spill_dst_slot = victim_slot[inst.dst]
+            # Destinations are written after all sources are read, so
+            # scratch 0 can be reused even when it fed a source.
+            new_dst = scratch[0]
+        else:
+            new_dst = renumbering[inst.dst]
+
+    rewritten = Instruction(
+        opcode=inst.opcode,
+        dst=new_dst,
+        srcs=tuple(new_srcs),
+        imm=inst.imm,
+        pdst=inst.pdst,
+        cmp=inst.cmp,
+        guard=inst.guard,
+        target=inst.target,
+        space=inst.space,
+        offset=inst.offset,
+        special=inst.special,
+        payload=inst.payload,
+    )
+    emit(rewritten)
+
+    if spill_dst_slot is not None:
+        emit(Instruction(
+            Opcode.STG,
+            srcs=(base, scratch[0]),
+            offset=4 * spill_dst_slot,
+            space=MemSpace.GLOBAL,
+            guard=inst.guard,
+        ))
+        result.spills_inserted += 1

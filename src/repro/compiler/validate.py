@@ -1,0 +1,118 @@
+"""Static validation of a release plan against the liveness facts.
+
+The simulator already detects unsound releases at run time (a read of a
+released-but-not-rewritten register raises). This module is the static
+counterpart: it re-derives liveness and checks every release site the
+plan emitted, so a compiler bug is caught at compile time, on every
+kernel, without running anything. ``compile_kernel`` calls it on its
+final plan.
+
+Checked invariants:
+
+* a ``pir`` flag only marks a source operand whose register is dead
+  after the instruction and is not simultaneously redefined by it;
+* a ``pir`` release site sits on the unconditional spine and is not
+  guarded (a diverged or predicated-off warp must never release);
+* a ``pbr`` release register is dead on entry to its block;
+* a ``pbr`` block lies on the unconditional spine;
+* no register is released twice along one straight-line block.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.dominators import PostDominators
+from repro.compiler.liveness import LivenessAnalysis
+from repro.compiler.release import ReleasePlan
+from repro.errors import CompilerError
+
+
+def validate_release_plan(
+    cfg: ControlFlowGraph,
+    plan: ReleasePlan,
+    liveness: LivenessAnalysis | None = None,
+    pdom: PostDominators | None = None,
+) -> None:
+    """Raise :class:`CompilerError` if ``plan`` could lose a live value."""
+    if plan.kernel is not cfg.kernel:
+        raise CompilerError("plan/CFG kernel mismatch")
+    liveness = liveness or LivenessAnalysis(cfg)
+    pdom = pdom or PostDominators(cfg)
+    spine = pdom.unconditional_blocks()
+
+    _validate_pir(cfg, plan, liveness, spine)
+    _validate_pbr(cfg, plan, liveness, spine)
+    _validate_no_double_release(cfg, plan)
+
+
+def _validate_pir(cfg, plan, liveness, spine) -> None:
+    kernel = cfg.kernel
+    for pc, flags in plan.pir_flags.items():
+        inst = kernel.instructions[pc]
+        if len(flags) != len(inst.srcs):
+            raise CompilerError(
+                f"pc {pc}: pir flag arity {len(flags)} != "
+                f"{len(inst.srcs)} operands"
+            )
+        if not any(flags):
+            continue
+        block = cfg.block_of(pc)
+        if block.index not in spine:
+            raise CompilerError(
+                f"pc {pc}: pir release inside a diverged flow "
+                f"(block {block.index} is off the unconditional spine)"
+            )
+        if inst.guard is not None:
+            raise CompilerError(
+                f"pc {pc}: pir release on a predicated instruction"
+            )
+        out_mask = liveness.live_out_mask(pc)
+        for reg, flag in zip(inst.srcs, flags):
+            if not flag:
+                continue
+            if (out_mask >> reg) & 1:
+                raise CompilerError(
+                    f"pc {pc}: pir releases r{reg} while it is live-out"
+                )
+            if reg == inst.dst:
+                raise CompilerError(
+                    f"pc {pc}: pir releases r{reg} which the "
+                    "instruction redefines in place"
+                )
+
+
+def _validate_pbr(cfg, plan, liveness, spine) -> None:
+    for block_index, regs in plan.pbr_regs.items():
+        if block_index not in spine:
+            raise CompilerError(
+                f"block {block_index}: pbr off the unconditional spine"
+            )
+        in_mask = liveness.block_in_mask(block_index)
+        for reg in regs:
+            if (in_mask >> reg) & 1:
+                raise CompilerError(
+                    f"block {block_index}: pbr releases r{reg} while it "
+                    "is live on block entry"
+                )
+
+
+def _validate_no_double_release(cfg, plan) -> None:
+    kernel = cfg.kernel
+    for block in cfg.blocks:
+        released: set[int] = set()
+        for pc in block.pcs():
+            inst = kernel.instructions[pc]
+            if inst.dst is not None:
+                released.discard(inst.dst)
+            flags = plan.pir_flags.get(pc)
+            if not flags:
+                continue
+            for reg, flag in zip(inst.srcs, flags):
+                if not flag:
+                    continue
+                if reg in released:
+                    raise CompilerError(
+                        f"pc {pc}: r{reg} released twice in block "
+                        f"{block.index} without an intervening write"
+                    )
+                released.add(reg)

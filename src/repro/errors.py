@@ -1,0 +1,69 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch one base class. Sub-hierarchies mirror the package
+layout: assembling/ISA errors, compiler errors, and simulation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IsaError(ReproError):
+    """Base class for ISA-level errors (bad operands, encodings...)."""
+
+
+class AssemblerError(IsaError):
+    """Raised when assembly text cannot be parsed into a kernel.
+
+    Carries the 1-based source line number when available.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class EncodingError(IsaError):
+    """Raised when a metadata instruction cannot be encoded/decoded."""
+
+
+class CompilerError(ReproError):
+    """Base class for compiler-pass failures."""
+
+
+class CfgError(CompilerError):
+    """Raised when a control-flow graph is malformed."""
+
+
+class LivenessError(CompilerError):
+    """Raised when liveness/lifetime analysis detects an inconsistency."""
+
+
+class SpillError(CompilerError):
+    """Raised when the spill rewriter cannot satisfy a register budget."""
+
+
+class SimulationError(ReproError):
+    """Base class for runtime simulation failures."""
+
+
+class DeadlockError(SimulationError):
+    """Raised when the simulator detects that no warp can make progress."""
+
+
+class RegisterFileError(SimulationError):
+    """Raised on invalid physical register file operations."""
+
+
+class RenamingError(SimulationError):
+    """Raised on renaming-table misuse (double free, unmapped read...)."""
+
+
+class ConfigError(ReproError):
+    """Raised for inconsistent hardware configuration parameters."""

@@ -1,0 +1,20 @@
+"""Reproduction experiments: one module per paper table and figure.
+
+Every module exposes ``run(**options) -> ExperimentResult`` and an
+``EXPERIMENT`` identifier; :mod:`repro.experiments.runner` executes any
+subset from the command line::
+
+    python -m repro.experiments.runner            # everything
+    python -m repro.experiments.runner fig10 fig11a
+
+Options shared by most experiments:
+
+* ``scale`` — workload loop-scale factor (1.0 = default loop lengths),
+* ``waves`` — CTA waves simulated per SM (None = the full grid share),
+* ``workloads`` — subset of benchmark names.
+"""
+
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "get_experiment"]

@@ -1,0 +1,42 @@
+"""Shared experiment result structure."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.tables import Table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure, with its paper comparison."""
+
+    experiment: str  # e.g. "fig10"
+    title: str
+    table: Table
+    #: What the paper reports for this result (shape / headline numbers).
+    paper_claim: str
+    #: One-line summary of what this run measured.
+    measured_summary: str
+    extra_tables: list[Table] = field(default_factory=list)
+
+    def render(self) -> str:
+        parts = [
+            f"[{self.experiment}] {self.title}",
+            "",
+            self.table.render(),
+        ]
+        for table in self.extra_tables:
+            parts.extend(["", table.render()])
+        parts.extend(
+            [
+                "",
+                f"paper:    {self.paper_claim}",
+                f"measured: {self.measured_summary}",
+            ]
+        )
+        return "\n".join(parts)
+
+
+def percent(value: float) -> float:
+    return 100.0 * value

@@ -1,0 +1,66 @@
+"""Fig. 1: fraction of live registers during execution.
+
+The paper samples six applications over a 10 K-cycle window and finds
+that, except for VectorAdd, they barely keep half of the compiler-
+reserved registers live at any instant (VectorAdd touches 100 % around
+the 2 K-cycle mark because the kernel is tiny).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.liveness_trace import live_register_series
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, percent
+from repro.workloads.suite import get_workload
+
+EXPERIMENT = "fig01"
+#: The six applications of Fig. 1(a)-(f).
+FIG1_WORKLOADS = (
+    "matrixmul", "reduction", "vectoradd", "lps", "backprop", "hotspot",
+)
+
+
+def run(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=FIG1_WORKLOADS,
+    interval: int = 50,
+    window_cycles: int = 10_000,
+    **_ignored,
+) -> ExperimentResult:
+    table = Table(
+        title="Fig. 1: live-register fraction over a "
+        f"{window_cycles}-cycle window",
+        headers=["Workload", "MeanLive%", "PeakLive%", "Samples"],
+    )
+    mean_of_means = []
+    peak_vectoradd = 0.0
+    for name in workloads:
+        workload = get_workload(name, scale=scale)
+        series = live_register_series(
+            workload,
+            window_cycles=window_cycles,
+            interval=interval,
+            waves=waves,
+        )
+        mean = percent(series.mean_fraction)
+        peak = percent(series.peak_fraction)
+        if name == "vectoradd":
+            peak_vectoradd = peak
+        else:
+            mean_of_means.append(mean)
+        table.add_row(name, mean, peak, len(series.samples))
+    avg = sum(mean_of_means) / len(mean_of_means) if mean_of_means else 0.0
+    table.add_note(
+        "live = registers currently mapped by the renaming table; "
+        "allocated = architected registers of resident warps."
+    )
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title="Live-register fraction during execution (Fig. 1)",
+        table=table,
+        paper_claim="Five of the six applications barely use half the "
+        "allocated registers for live data; VectorAdd reaches 100%.",
+        measured_summary=f"non-VectorAdd mean live fraction {avg:.0f}%; "
+        f"VectorAdd peaks at {peak_vectoradd:.0f}%.",
+    )

@@ -1,0 +1,64 @@
+"""Fig. 10: register allocation reduction from virtualization.
+
+The paper counts the physical registers actually touched during
+renaming (essentially the peak of concurrently live registers) and
+reports how many of the compiler-allocated registers were never needed:
+on average 16 %, up to 44 %, with short kernels (VectorAdd) saving the
+least. Our simplified substrate reproduces the *shape* — short kernels
+save least, long compute-dense kernels most — with larger magnitudes
+(see EXPERIMENTS.md for the deviation discussion).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runners import run_virtualized
+from repro.analysis.tables import Table
+from repro.experiments.base import ExperimentResult, percent
+from repro.workloads.suite import all_workload_names, get_workload
+
+EXPERIMENT = "fig10"
+
+
+def run(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> ExperimentResult:
+    names = workloads or all_workload_names()
+    table = Table(
+        title="Fig. 10: register allocation reduction",
+        headers=[
+            "Workload", "Allocated", "Touched", "PeakLive", "Reduction%",
+        ],
+    )
+    reductions = []
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        artifacts = run_virtualized(workload, waves=waves)
+        stats = artifacts.stats
+        allocated = stats.max_architected_allocated
+        touched = stats.physical_registers_touched
+        reduction = percent(1.0 - touched / allocated) if allocated else 0.0
+        reductions.append((name, reduction))
+        table.add_row(
+            name, allocated, touched, stats.max_live_registers, reduction,
+        )
+    average = sum(r for _, r in reductions) / len(reductions)
+    table.add_row("AVG", "-", "-", "-", average)
+    table.add_note(
+        "Allocated = peak architected reservation of resident CTAs; "
+        "Touched = physical registers used at least once under renaming."
+    )
+    smallest = min(reductions, key=lambda item: item[1])
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title="Register allocation reduction (Fig. 10)",
+        table=table,
+        paper_claim="Allocation reduced by up to 44%, 16% on average; "
+        "short kernels such as VectorAdd save least, long kernels most.",
+        measured_summary=(
+            f"average reduction {average:.0f}%; smallest saving is "
+            f"{smallest[0]} at {smallest[1]:.0f}%."
+        ),
+    )

@@ -1,0 +1,90 @@
+"""Fig. 12: register-file energy breakdown.
+
+Three design points, all using register virtualization, normalized to
+the plain 128 KB register file without renaming:
+
+* ``128KB RF w/ PG`` — full-size file, sub-array power gating only;
+* ``64KB (50%) RF`` — GPU-shrink, no gating;
+* ``64KB (50%) RF w/ PG`` — GPU-shrink plus gating (the paper's
+  headline: 42 % average register-file energy saving).
+
+Each bar decomposes into dynamic, static, renaming-table and
+flag-instruction energy.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runners import run_baseline, run_virtualized
+from repro.analysis.tables import Table
+from repro.arch import GPUConfig
+from repro.experiments.base import ExperimentResult
+from repro.power import energy_breakdown
+from repro.workloads.suite import all_workload_names, get_workload
+
+EXPERIMENT = "fig12"
+
+CONFIGS = (
+    ("128KB RF w/ PG", dict(fraction=1.0, gating=True)),
+    ("64KB (50%) RF", dict(fraction=0.5, gating=False)),
+    ("64KB (50%) RF w/ PG", dict(fraction=0.5, gating=True)),
+)
+
+
+def _config(fraction: float, gating: bool) -> GPUConfig:
+    if fraction >= 1.0:
+        return GPUConfig.renamed(gating_enabled=gating)
+    return GPUConfig.shrunk(fraction, gating_enabled=gating)
+
+
+def run(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> ExperimentResult:
+    names = workloads or all_workload_names()
+    table = Table(
+        title="Fig. 12: RF energy normalized to the 128KB baseline",
+        headers=[
+            "Workload", "Config", "Dynamic", "Static",
+            "RenamingTable", "FlagInstr", "Total",
+        ],
+    )
+    totals = {label: [] for label, _ in CONFIGS}
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        base = run_baseline(workload, waves=waves)
+        base_energy = energy_breakdown(
+            base.stats, base.result.config, renaming_active=False
+        )
+        for label, opts in CONFIGS:
+            config = _config(opts["fraction"], opts["gating"])
+            run_artifacts = run_virtualized(
+                workload, config=config, waves=waves
+            )
+            energy = energy_breakdown(run_artifacts.stats, config)
+            normalized = energy.normalized_to(base_energy)
+            totals[label].append(normalized["total"])
+            table.add_row(
+                name, label,
+                normalized["dynamic"], normalized["static"],
+                normalized["renaming_table"], normalized["flag_instruction"],
+                normalized["total"],
+            )
+    for label, _ in CONFIGS:
+        table.add_row(
+            "AVG", label, "-", "-", "-", "-",
+            sum(totals[label]) / len(totals[label]),
+        )
+    headline = totals["64KB (50%) RF w/ PG"]
+    saving = 100 * (1 - sum(headline) / len(headline))
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title="Register file energy breakdown (Fig. 12)",
+        table=table,
+        paper_claim="GPU-shrink with sub-array power gating saves 42% of "
+        "register file energy on average; shrinking without gating can "
+        "lose to gated full-size on low-liveness benchmarks.",
+        measured_summary=f"64KB + power gating saves {saving:.0f}% on "
+        "average.",
+    )

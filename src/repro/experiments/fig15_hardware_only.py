@@ -1,0 +1,98 @@
+"""Fig. 15: comparison with hardware-only register renaming [46].
+
+The Tarjan/Skadron scheme releases a physical register only when its
+architected register is redefined, so dead-but-never-redefined values
+stay resident until warp completion. Compared to compiler-directed
+release it (a) reduces register allocations less — for some benchmarks
+not at all — and (b) saves about half the static power (it can still
+gate registers before their first definition).
+
+Both metrics are reported normalized to our approach, as in the figure.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runners import (
+    run_baseline,
+    run_hardware_only_baseline,
+    run_virtualized,
+)
+from repro.analysis.tables import Table
+from repro.arch import GPUConfig
+from repro.experiments.base import ExperimentResult
+from repro.power import energy_breakdown
+from repro.workloads.suite import all_workload_names, get_workload
+
+EXPERIMENT = "fig15"
+
+
+def run(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> ExperimentResult:
+    names = workloads or all_workload_names()
+    gated = GPUConfig.renamed(gating_enabled=True)
+    table = Table(
+        title="Fig. 15: hardware-only renaming normalized to our scheme",
+        headers=[
+            "Workload", "AllocReduction[46]", "AllocReductionOurs",
+            "NormAllocReduction", "NormStaticPowerReduction",
+        ],
+    )
+    alloc_ratios = []
+    static_ratios = []
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        base = run_baseline(workload, waves=waves)
+        ours = run_virtualized(workload, config=gated, waves=waves)
+        theirs = run_hardware_only_baseline(
+            workload, config=gated, waves=waves
+        )
+
+        def reduction(artifacts):
+            stats = artifacts.stats
+            allocated = stats.max_architected_allocated
+            if not allocated:
+                return 0.0
+            return max(0.0, 1.0 - stats.physical_registers_touched / allocated)
+
+        ours_red = reduction(ours)
+        theirs_red = reduction(theirs)
+        alloc_ratio = theirs_red / ours_red if ours_red else 1.0
+        alloc_ratios.append(alloc_ratio)
+
+        base_energy = energy_breakdown(
+            base.stats, base.result.config, renaming_active=False
+        )
+        ours_static_saving = base_energy.static - energy_breakdown(
+            ours.stats, gated
+        ).static
+        theirs_static_saving = base_energy.static - energy_breakdown(
+            theirs.stats, gated, renaming_active=False
+        ).static
+        static_ratio = (
+            theirs_static_saving / ours_static_saving
+            if ours_static_saving > 0 else 1.0
+        )
+        static_ratios.append(static_ratio)
+        table.add_row(
+            name, theirs_red, ours_red, alloc_ratio, static_ratio,
+        )
+    avg_alloc = sum(alloc_ratios) / len(alloc_ratios)
+    avg_static = sum(static_ratios) / len(static_ratios)
+    table.add_row("AVG", "-", "-", avg_alloc, avg_static)
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title="Hardware-only renaming comparison (Fig. 15)",
+        table=table,
+        paper_claim="Hardware-only renaming reduces allocations less "
+        "(sometimes not at all) and saves about half the static power of "
+        "compiler-directed release.",
+        measured_summary=(
+            f"hardware-only achieves {100 * avg_alloc:.0f}% of our "
+            f"allocation reduction and {100 * avg_static:.0f}% of our "
+            "static-power saving."
+        ),
+    )

@@ -1,0 +1,60 @@
+"""Experiment registry mapping ids to run callables."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.experiments import (
+    ablations,
+    fig01_live_registers,
+    rfc_comparison,
+    scheduler_skew,
+    fig02_lifetime_patterns,
+    fig07_power_vs_size,
+    fig08_subarray_occupancy,
+    fig09_technology_leakage,
+    fig10_alloc_reduction,
+    fig11a_shrink_performance,
+    fig11b_wakeup_sensitivity,
+    fig12_energy_breakdown,
+    fig13_code_increase,
+    fig14_renaming_table,
+    fig15_hardware_only,
+    table01_workloads,
+    table02_energy_params,
+)
+from repro.experiments.base import ExperimentResult
+
+_MODULES = (
+    table01_workloads,
+    table02_energy_params,
+    fig01_live_registers,
+    fig02_lifetime_patterns,
+    fig07_power_vs_size,
+    fig08_subarray_occupancy,
+    fig09_technology_leakage,
+    fig10_alloc_reduction,
+    fig11a_shrink_performance,
+    fig11b_wakeup_sensitivity,
+    fig12_energy_breakdown,
+    fig13_code_increase,
+    fig14_renaming_table,
+    fig15_hardware_only,
+    ablations,
+    scheduler_skew,
+    rfc_comparison,
+)
+
+#: experiment id -> run callable.
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    module.EXPERIMENT: module.run for module in _MODULES
+}
+
+
+def get_experiment(name: str) -> Callable[..., ExperimentResult]:
+    key = name.lower()
+    if key not in EXPERIMENTS:
+        known = ", ".join(EXPERIMENTS)
+        raise ConfigError(f"unknown experiment '{name}'; known: {known}")
+    return EXPERIMENTS[key]

@@ -1,0 +1,104 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.experiments.runner                 # run everything
+    python -m repro.experiments.runner fig10 fig11a    # a subset
+    python -m repro.experiments.runner --quick fig12   # reduced scale
+
+``--quick`` shortens workload loops and simulates a single CTA wave,
+for smoke-testing the harness; published comparisons should use the
+default settings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+import time
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def _slug(text: str) -> str:
+    return re.sub(r"[^a-z0-9]+", "_", text.lower()).strip("_")
+
+
+def _export_csv(result, directory: pathlib.Path) -> list[pathlib.Path]:
+    """Write the experiment's tables as CSV files; returns the paths."""
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    tables = [result.table] + list(result.extra_tables)
+    for index, table in enumerate(tables):
+        suffix = "" if index == 0 else f"_{_slug(table.title)[:40]}"
+        path = directory / f"{result.experiment}{suffix}.csv"
+        path.write_text(table.to_csv())
+        written.append(path)
+    return written
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments.runner",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="*",
+        help=f"experiment ids (default: all of {', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced loop scale and one CTA wave (smoke test)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=None,
+        help="workload loop-scale factor (overrides --quick)",
+    )
+    parser.add_argument(
+        "--waves", type=int, default=None,
+        help="CTA waves simulated per SM",
+    )
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also export every regenerated table as CSV into DIR",
+    )
+    parser.add_argument(
+        "--chart", action="store_true",
+        help="also draw figure experiments as ASCII bar charts",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.experiments or list(EXPERIMENTS)
+    options: dict[str, object] = {}
+    if args.quick:
+        options.update(scale=0.5, waves=1)
+    if args.scale is not None:
+        options["scale"] = args.scale
+    if args.waves is not None:
+        options["waves"] = args.waves
+
+    for name in names:
+        run = get_experiment(name)
+        started = time.time()
+        result = run(**options)
+        elapsed = time.time() - started
+        print(result.render())
+        if args.chart:
+            from repro.analysis.charts import chart_for
+
+            chart = chart_for(result.experiment, result.table)
+            if chart:
+                print()
+                print(chart)
+        if args.csv:
+            for path in _export_csv(result, pathlib.Path(args.csv)):
+                print(f"csv: {path}")
+        print(f"({elapsed:.1f}s)")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+"""Scheduler-skew study: how warp scheduling feeds register reuse.
+
+Section 5's enabling observation: warps are scheduled at different
+points in time, so when a register's lifetime ends in one warp its
+storage can serve another warp that reaches the same code later. The
+amount of *skew* between warps is a property of the warp scheduler:
+
+* ``loose_rr`` keeps warps tightly interleaved (minimal skew),
+* ``two_level`` (the paper's baseline) separates a small ready set
+  from pending warps, creating hundreds of cycles of skew,
+* ``gto`` (greedy-then-oldest) runs one warp as far as it can
+  (maximal skew).
+
+This experiment measures, per policy, the peak concurrently-live
+register count and the resulting allocation reduction. Not a paper
+figure — it quantifies the sentence the paper's mechanism rests on.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.runners import run_virtualized
+from repro.analysis.tables import Table
+from repro.arch import GPUConfig
+from repro.experiments.base import ExperimentResult
+from repro.workloads.suite import get_workload
+
+EXPERIMENT = "schedulers"
+POLICIES = ("loose_rr", "two_level", "gto")
+DEFAULT_WORKLOADS = ("matrixmul", "blackscholes", "hotspot", "lib")
+
+
+def run(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=DEFAULT_WORKLOADS,
+    **_ignored,
+) -> ExperimentResult:
+    table = Table(
+        title="Scheduler policy vs register reuse",
+        headers=[
+            "Workload", "Policy", "Cycles", "PeakLive", "Reduction%",
+        ],
+    )
+    reduction_by_policy: dict[str, list[float]] = {
+        policy: [] for policy in POLICIES
+    }
+    for name in workloads:
+        workload = get_workload(name, scale=scale)
+        for policy in POLICIES:
+            config = GPUConfig.renamed(scheduler_policy=policy)
+            result = run_virtualized(workload, config=config, waves=waves)
+            stats = result.stats
+            reduction = 100 * (
+                1 - stats.physical_registers_touched
+                / stats.max_architected_allocated
+            )
+            reduction_by_policy[policy].append(reduction)
+            table.add_row(
+                name, policy, result.result.cycles,
+                stats.max_live_registers, reduction,
+            )
+    means = {
+        policy: sum(values) / len(values)
+        for policy, values in reduction_by_policy.items()
+    }
+    table.add_note(
+        "higher schedule skew -> fewer warps at their liveness peak "
+        "simultaneously -> more reuse."
+    )
+    return ExperimentResult(
+        experiment=EXPERIMENT,
+        title="Warp scheduling skew and register reuse (Section 5)",
+        table=table,
+        paper_claim="The two-level scheduler's several-hundred-cycle "
+        "schedule differences are what let one warp reuse another's "
+        "released registers.",
+        measured_summary=(
+            "mean allocation reduction: "
+            + ", ".join(
+                f"{policy}={means[policy]:.0f}%" for policy in POLICIES
+            )
+        ),
+    )

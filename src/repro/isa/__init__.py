@@ -1,0 +1,37 @@
+"""A small SASS-like warp ISA for the simulated GPU.
+
+The ISA follows the paper's Fermi-era assumptions: instructions carry at
+most three source register operands and one destination, branches are
+predicated with explicit reconvergence at the immediate postdominator,
+and compile-time information reaches the hardware through 64-bit
+metadata instructions (``PIR`` / ``PBR`` release flags, Section 6.2).
+
+Public surface:
+
+* :class:`Opcode`, :class:`CmpOp`, :class:`Special`, :class:`MemSpace`
+* :class:`Instruction`, :class:`PredGuard`
+* :class:`Kernel`
+* :func:`assemble` — text assembler
+* :class:`KernelBuilder` — programmatic builder used by the workload
+  generators
+* :mod:`repro.isa.metadata` — pir/pbr payload encoding
+"""
+
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Special, opcode_info
+from repro.isa.instruction import Instruction, PredGuard
+from repro.isa.kernel import Kernel
+from repro.isa.assembler import assemble
+from repro.isa.builder import KernelBuilder
+
+__all__ = [
+    "CmpOp",
+    "MemSpace",
+    "Opcode",
+    "Special",
+    "opcode_info",
+    "Instruction",
+    "PredGuard",
+    "Kernel",
+    "assemble",
+    "KernelBuilder",
+]

@@ -1,0 +1,269 @@
+"""Text assembler for the simulated ISA.
+
+The accepted grammar is a readable SASS-like syntax::
+
+    .kernel matrixmul
+    .regs 14
+    .shared 2048
+    entry:
+        S2R   r0, SR_TID
+        MOVI  r1, 0x0
+    loop:
+        LDG   r3, [r2+0x10]
+        IADD  r1, r1, r3
+        SETP  p0, r1, 100, LT
+        @p0 BRA loop
+        STG   [r2], r1
+        EXIT
+
+Comments start with ``;`` or ``//``. Labels end with ``:`` and may share
+a line with an instruction. ``@p0`` / ``@!p0`` prefixes guard an
+instruction on a predicate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+from repro.isa.instruction import Instruction, PredGuard
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Special, opcode_info
+
+#: Labels may start with a dot (the builder's auto labels: .L0, .L1...).
+_LABEL_RE = re.compile(r"^\.?[A-Za-z_][A-Za-z0-9_.$]*$")
+_LABEL_DEF_RE = re.compile(
+    r"^(\.?[A-Za-z_][A-Za-z0-9_.$]*)\s*:\s*(.*)$"
+)
+_REG_RE = re.compile(r"^r(\d+)$")
+_PRED_RE = re.compile(r"^p(\d+)$")
+_MEM_RE = re.compile(r"^\[\s*r(\d+)\s*(?:([+-])\s*(0x[0-9a-fA-F]+|\d+))?\s*\]$")
+_IMM_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+
+_MEM_SPACE = {
+    Opcode.LDG: MemSpace.GLOBAL,
+    Opcode.STG: MemSpace.GLOBAL,
+    Opcode.LDS: MemSpace.SHARED,
+    Opcode.STS: MemSpace.SHARED,
+}
+
+
+@dataclass
+class _Token:
+    """One classified operand token."""
+
+    kind: str  # reg | pred | mem | imm | special | cmp | label
+    value: object
+    offset: int = 0
+
+
+def _strip_comment(line: str) -> str:
+    for marker in (";", "//"):
+        index = line.find(marker)
+        if index >= 0:
+            line = line[:index]
+    return line.strip()
+
+
+def _parse_int(text: str) -> int:
+    return int(text, 0)
+
+
+def _classify(token: str, lineno: int) -> _Token:
+    token = token.strip()
+    match = _REG_RE.match(token)
+    if match:
+        return _Token("reg", int(match.group(1)))
+    match = _PRED_RE.match(token)
+    if match:
+        return _Token("pred", int(match.group(1)))
+    match = _MEM_RE.match(token)
+    if match:
+        offset = 0
+        if match.group(3):
+            offset = _parse_int(match.group(3))
+            if match.group(2) == "-":
+                offset = -offset
+        return _Token("mem", int(match.group(1)), offset=offset)
+    if _IMM_RE.match(token):
+        return _Token("imm", _parse_int(token))
+    upper = token.upper()
+    if upper in Special._value2member_map_:
+        return _Token("special", Special(upper))
+    if upper in CmpOp.__members__:
+        return _Token("cmp", CmpOp[upper])
+    if _LABEL_RE.match(token):
+        return _Token("label", token)
+    raise AssemblerError(f"cannot parse operand '{token}'", lineno)
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split on commas that are not inside a ``[...]`` address."""
+    operands, depth, current = [], 0, []
+    for char in text:
+        if char == "[":
+            depth += 1
+        elif char == "]":
+            depth -= 1
+        if char == "," and depth == 0:
+            operands.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return [op.strip() for op in operands if op.strip()]
+
+
+def _build_instruction(
+    opcode: Opcode,
+    tokens: list[_Token],
+    guard: PredGuard | None,
+    lineno: int,
+) -> Instruction:
+    info = opcode_info(opcode)
+    dst = pdst = imm = special = None
+    cmp = None
+    target = None
+    srcs: list[int] = []
+    offset = 0
+    space = _MEM_SPACE.get(opcode)
+    queue = list(tokens)
+
+    def take(kind: str, what: str) -> _Token:
+        if not queue or queue[0].kind != kind:
+            raise AssemblerError(
+                f"{opcode.value}: expected {what}", lineno
+            )
+        return queue.pop(0)
+
+    if info.writes_pred:
+        pdst = take("pred", "predicate destination").value
+    elif info.is_memory and not info.is_store:
+        dst = take("reg", "destination register").value
+        mem = take("mem", "memory operand")
+        srcs.append(mem.value)
+        offset = mem.offset
+    elif info.is_store:
+        mem = take("mem", "memory operand")
+        srcs.append(mem.value)
+        offset = mem.offset
+        srcs.append(take("reg", "store data register").value)
+    elif info.is_branch:
+        target = take("label", "branch target").value
+    elif opcode is Opcode.S2R:
+        dst = take("reg", "destination register").value
+        special = take("special", "special register").value
+    elif info.has_dst:
+        dst = take("reg", "destination register").value
+
+    for token in queue:
+        if token.kind == "reg":
+            srcs.append(token.value)
+        elif token.kind == "imm":
+            if imm is not None:
+                raise AssemblerError("multiple immediates", lineno)
+            imm = token.value
+        elif token.kind == "cmp":
+            cmp = token.value
+        else:
+            raise AssemblerError(
+                f"{opcode.value}: unexpected operand "
+                f"'{token.kind}'", lineno
+            )
+    payload = 0
+    if opcode in (Opcode.PIR, Opcode.PBR) and imm is not None:
+        payload, imm = imm, None
+    release_regs: tuple[int, ...] = ()
+    if opcode is Opcode.PBR and payload:
+        from repro.isa.metadata import decode_pbr
+
+        release_regs = tuple(decode_pbr(payload))
+    try:
+        return Instruction(
+            opcode=opcode,
+            dst=dst,
+            srcs=tuple(srcs),
+            imm=imm,
+            payload=payload,
+            pdst=pdst,
+            cmp=cmp,
+            guard=guard,
+            target=target,
+            space=space,
+            offset=offset,
+            special=special,
+            release_regs=release_regs,
+        )
+    except Exception as exc:  # re-raise with line info
+        raise AssemblerError(str(exc), lineno) from exc
+
+
+def assemble(text: str, name: str | None = None) -> Kernel:
+    """Assemble ``text`` into a finalized :class:`Kernel`.
+
+    ``name`` overrides any ``.kernel`` directive in the source; one of
+    the two must provide a kernel name.
+    """
+    kernel = Kernel(name=name or "")
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+        if line.startswith(".") and not _LABEL_DEF_RE.match(line):
+            _directive(kernel, line, lineno, explicit_name=name is not None)
+            continue
+        # Labels, possibly several, possibly followed by an instruction.
+        while True:
+            match = _LABEL_DEF_RE.match(line)
+            if not match:
+                break
+            label = match.group(1)
+            if label in kernel.labels:
+                raise AssemblerError(f"duplicate label '{label}'", lineno)
+            kernel.labels[label] = len(kernel.instructions)
+            line = match.group(2)
+        if not line:
+            continue
+        kernel.instructions.append(_parse_instruction(line, lineno))
+    if not kernel.name:
+        raise AssemblerError("kernel has no name (.kernel or name=)")
+    return kernel.finalize()
+
+
+def _directive(
+    kernel: Kernel, line: str, lineno: int, explicit_name: bool
+) -> None:
+    parts = line.split()
+    directive, args = parts[0], parts[1:]
+    if directive == ".kernel":
+        if not args:
+            raise AssemblerError(".kernel requires a name", lineno)
+        if not explicit_name:
+            kernel.name = args[0]
+    elif directive == ".regs":
+        kernel.num_regs = _parse_int(args[0])
+    elif directive == ".preds":
+        kernel.num_preds = _parse_int(args[0])
+    elif directive == ".shared":
+        kernel.shared_bytes = _parse_int(args[0])
+    else:
+        raise AssemblerError(f"unknown directive '{directive}'", lineno)
+
+
+def _parse_instruction(line: str, lineno: int) -> Instruction:
+    guard = None
+    match = re.match(r"^@(!?)p(\d+)\s+(.*)$", line)
+    if match:
+        guard = PredGuard(int(match.group(2)), negated=bool(match.group(1)))
+        line = match.group(3)
+    parts = line.split(None, 1)
+    mnemonic = parts[0].upper()
+    if mnemonic not in Opcode.__members__:
+        raise AssemblerError(f"unknown opcode '{parts[0]}'", lineno)
+    opcode = Opcode[mnemonic]
+    operand_text = parts[1] if len(parts) > 1 else ""
+    tokens = [_classify(t, lineno) for t in _split_operands(operand_text)]
+    return _build_instruction(opcode, tokens, guard, lineno)

@@ -1,0 +1,249 @@
+"""Fluent programmatic builder for kernels.
+
+The workload generators (``repro.workloads.generators``) construct their
+synthetic kernels with this builder rather than assembling text, which
+keeps loop/divergence structure parameterizable. Register and predicate
+operands are plain integers; immediates are passed via the dedicated
+``imm=`` keyword where ambiguity exists (``setp``, shifts).
+
+Example::
+
+    b = KernelBuilder("axpy")
+    tid, acc = 0, 1
+    b.s2r(tid, Special.TID)
+    b.movi(acc, 0)
+    b.label("loop")
+    b.ldg(2, addr=tid, offset=0x100)
+    b.iadd(acc, acc, 2)
+    b.setp(0, acc, CmpOp.LT, imm=100)
+    b.bra("loop", pred=0)
+    b.stg(addr=tid, value=acc)
+    b.exit()
+    kernel = b.build()
+"""
+
+from __future__ import annotations
+
+from repro.errors import IsaError
+from repro.isa.instruction import Instruction, PredGuard
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Special
+
+
+class KernelBuilder:
+    """Accumulates instructions and labels, then builds a Kernel."""
+
+    def __init__(
+        self, name: str, num_preds: int = 4, shared_bytes: int = 0
+    ):
+        self._kernel = Kernel(
+            name=name, num_preds=num_preds, shared_bytes=shared_bytes
+        )
+        self._label_counter = 0
+        self._built = False
+
+    # --- structural -------------------------------------------------------
+    def label(self, name: str | None = None) -> str:
+        """Define a label at the current position; returns its name."""
+        if name is None:
+            name = f".L{self._label_counter}"
+            self._label_counter += 1
+        if name in self._kernel.labels:
+            raise IsaError(f"duplicate label '{name}'")
+        self._kernel.labels[name] = len(self._kernel.instructions)
+        return name
+
+    def fresh_label(self) -> str:
+        """Reserve a label name without placing it yet."""
+        name = f".L{self._label_counter}"
+        self._label_counter += 1
+        return name
+
+    def place(self, name: str) -> str:
+        """Place a previously reserved label at the current position."""
+        if name in self._kernel.labels:
+            raise IsaError(f"duplicate label '{name}'")
+        self._kernel.labels[name] = len(self._kernel.instructions)
+        return name
+
+    def emit(self, inst: Instruction) -> Instruction:
+        if self._built:
+            raise IsaError("builder already built")
+        self._kernel.instructions.append(inst)
+        return inst
+
+    def build(self) -> Kernel:
+        """Finalize and return the kernel (labels resolved, PCs set)."""
+        self._built = True
+        kernel = self._kernel.finalize()
+        kernel.validate()
+        return kernel
+
+    # --- guards -------------------------------------------------------------
+    @staticmethod
+    def _guard(pred: int | None, negated: bool) -> PredGuard | None:
+        if pred is None:
+            return None
+        return PredGuard(pred, negated=negated)
+
+    # --- ALU ------------------------------------------------------------------
+    def _alu3(self, opcode: Opcode, dst: int, a: int, b: int,
+              pred: int | None = None, negated: bool = False) -> Instruction:
+        return self.emit(Instruction(
+            opcode, dst=dst, srcs=(a, b),
+            guard=self._guard(pred, negated),
+        ))
+
+    def mov(self, dst: int, src: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.MOV, dst=dst, srcs=(src,),
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def movi(self, dst: int, imm: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.MOVI, dst=dst, imm=imm,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def iadd(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.IADD, dst, a, b, **kw)
+
+    def iaddi(self, dst: int, src: int, imm: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.IADDI, dst=dst, srcs=(src,), imm=imm,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def isub(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.ISUB, dst, a, b, **kw)
+
+    def imul(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.IMUL, dst, a, b, **kw)
+
+    def imad(self, dst: int, a: int, b: int, c: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.IMAD, dst=dst, srcs=(a, b, c),
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def and_(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.AND, dst, a, b, **kw)
+
+    def or_(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.OR, dst, a, b, **kw)
+
+    def xor(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.XOR, dst, a, b, **kw)
+
+    def shl(self, dst: int, src: int, imm: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.SHL, dst=dst, srcs=(src,), imm=imm,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def shr(self, dst: int, src: int, imm: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.SHR, dst=dst, srcs=(src,), imm=imm,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def imin(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.IMIN, dst, a, b, **kw)
+
+    def imax(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.IMAX, dst, a, b, **kw)
+
+    def sel(self, dst: int, cond: int, a: int, b: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.SEL, dst=dst, srcs=(cond, a, b),
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def fadd(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.FADD, dst, a, b, **kw)
+
+    def fmul(self, dst: int, a: int, b: int, **kw) -> Instruction:
+        return self._alu3(Opcode.FMUL, dst, a, b, **kw)
+
+    def ffma(self, dst: int, a: int, b: int, c: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.FFMA, dst=dst, srcs=(a, b, c),
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def rcp(self, dst: int, src: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.RCP, dst=dst, srcs=(src,),
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def sqrt(self, dst: int, src: int, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.SQRT, dst=dst, srcs=(src,),
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    # --- predicates & specials ----------------------------------------------
+    def setp(self, pdst: int, src: int, cmp: CmpOp,
+             src2: int | None = None, imm: int | None = None,
+             **kw) -> Instruction:
+        if (src2 is None) == (imm is None):
+            raise IsaError("setp needs exactly one of src2= or imm=")
+        srcs = (src,) if src2 is None else (src, src2)
+        return self.emit(Instruction(
+            Opcode.SETP, pdst=pdst, srcs=srcs, imm=imm, cmp=cmp,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def s2r(self, dst: int, special: Special, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.S2R, dst=dst, special=special,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    # --- memory ----------------------------------------------------------------
+    def ldg(self, dst: int, addr: int, offset: int = 0, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.LDG, dst=dst, srcs=(addr,), offset=offset,
+            space=MemSpace.GLOBAL,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def stg(self, addr: int, value: int, offset: int = 0, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.STG, srcs=(addr, value), offset=offset,
+            space=MemSpace.GLOBAL,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def lds(self, dst: int, addr: int, offset: int = 0, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.LDS, dst=dst, srcs=(addr,), offset=offset,
+            space=MemSpace.SHARED,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    def sts(self, addr: int, value: int, offset: int = 0, **kw) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.STS, srcs=(addr, value), offset=offset,
+            space=MemSpace.SHARED,
+            guard=self._guard(kw.get("pred"), kw.get("negated", False)),
+        ))
+
+    # --- control --------------------------------------------------------------
+    def bra(self, target: str, pred: int | None = None,
+            negated: bool = False) -> Instruction:
+        return self.emit(Instruction(
+            Opcode.BRA, target=target,
+            guard=self._guard(pred, negated),
+        ))
+
+    def bar(self) -> Instruction:
+        return self.emit(Instruction(Opcode.BAR))
+
+    def exit(self) -> Instruction:
+        return self.emit(Instruction(Opcode.EXIT))
+
+    def nop(self) -> Instruction:
+        return self.emit(Instruction(Opcode.NOP))

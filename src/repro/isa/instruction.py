@@ -1,0 +1,168 @@
+"""The :class:`Instruction` record and its validation / formatting.
+
+An instruction is a plain mutable record: the assembler fills in the
+textual fields (``target`` label), the compiler later fills in resolved
+fields (``target_pc``, ``reconv_pc``) and attaches the release-flag
+decorations that the paper's metadata instructions (Section 6.2) carry
+to hardware (``release_srcs`` for per-instruction flags, ``release_regs``
+for per-branch flags).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import IsaError
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Special, opcode_info
+
+
+@dataclass(frozen=True)
+class PredGuard:
+    """An ``@p`` / ``@!p`` instruction guard."""
+
+    preg: int
+    negated: bool = False
+
+    def __str__(self) -> str:
+        bang = "!" if self.negated else ""
+        return f"@{bang}p{self.preg}"
+
+
+@dataclass
+class Instruction:
+    """One instruction of the simulated ISA.
+
+    ``srcs`` holds architected register ids in operand order. For memory
+    operations the address register is ``srcs[0]`` and, for stores, the
+    data register is ``srcs[1]``. ``SETP`` compares ``srcs[0]`` against
+    ``srcs[1]`` or, when only one source is given, against ``imm``.
+    """
+
+    opcode: Opcode
+    dst: int | None = None
+    srcs: tuple[int, ...] = ()
+    imm: int | None = None
+    pdst: int | None = None
+    cmp: CmpOp | None = None
+    guard: PredGuard | None = None
+    target: str | None = None
+    space: MemSpace | None = None
+    offset: int = 0
+    special: Special | None = None
+    #: Encoded 54-bit payload for PIR/PBR metadata instructions.
+    payload: int = 0
+
+    # --- fields filled in by the assembler / compiler ---
+    pc: int = -1
+    target_pc: int | None = None
+    #: PC of the reconvergence point for (potentially divergent) branches.
+    reconv_pc: int | None = None
+    #: Per-instruction release flags: release_srcs[i] means srcs[i] dies
+    #: at this read (carried by the enclosing PIR metadata instruction).
+    release_srcs: tuple[bool, ...] = ()
+    #: Registers released when this instruction's block is entered
+    #: (carried by a PBR metadata instruction at the reconvergence point).
+    release_regs: tuple[int, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # --- queries -------------------------------------------------------------
+    @property
+    def info(self):
+        return opcode_info(self.opcode)
+
+    def reads(self) -> tuple[int, ...]:
+        """Architected registers read by this instruction."""
+        return self.srcs
+
+    def writes(self) -> int | None:
+        """Architected register written, or ``None``."""
+        return self.dst
+
+    @property
+    def is_branch(self) -> bool:
+        return self.info.is_branch
+
+    @property
+    def is_memory(self) -> bool:
+        return self.info.is_memory
+
+    @property
+    def is_meta(self) -> bool:
+        return self.info.is_meta
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.is_branch and self.guard is not None
+
+    # --- validation ---------------------------------------------------------
+    def validate(self) -> None:
+        """Raise :class:`IsaError` if operand shape mismatches the opcode."""
+        info = opcode_info(self.opcode)
+        nsrc = len(self.srcs)
+        expected = info.num_srcs
+        ok = nsrc == expected
+        if info.takes_imm and self.imm is not None:
+            # An immediate can stand in for the trailing register source.
+            ok = ok or nsrc == max(0, expected - 1)
+        if not ok:
+            raise IsaError(
+                f"{self.opcode.value} expects {expected} register "
+                f"sources, got {nsrc}"
+            )
+        if info.has_dst and self.dst is None:
+            raise IsaError(f"{self.opcode.value} requires a destination")
+        if not info.has_dst and self.dst is not None:
+            raise IsaError(f"{self.opcode.value} takes no destination")
+        if info.writes_pred and self.pdst is None:
+            raise IsaError(f"{self.opcode.value} requires a predicate dst")
+        if self.opcode is Opcode.SETP and self.cmp is None:
+            raise IsaError("SETP requires a comparison operator")
+        if info.is_branch and self.target is None and self.target_pc is None:
+            raise IsaError("branch requires a target")
+        if info.is_memory and self.space is None:
+            raise IsaError(f"{self.opcode.value} requires a memory space")
+        if self.opcode is Opcode.S2R and self.special is None:
+            raise IsaError("S2R requires a special register source")
+        for reg in self.srcs:
+            if reg < 0:
+                raise IsaError("negative register id")
+        if self.dst is not None and self.dst < 0:
+            raise IsaError("negative register id")
+
+    # --- formatting ----------------------------------------------------------
+    def __str__(self) -> str:  # noqa: C901 - straightforward case table
+        parts = []
+        if self.guard is not None:
+            parts.append(str(self.guard))
+        parts.append(self.opcode.value)
+        ops: list[str] = []
+        if self.pdst is not None:
+            ops.append(f"p{self.pdst}")
+        if self.opcode in (Opcode.LDG, Opcode.LDS):
+            ops.append(f"r{self.dst}")
+            ops.append(f"[r{self.srcs[0]}+{self.offset:#x}]")
+        elif self.opcode in (Opcode.STG, Opcode.STS):
+            ops.append(f"[r{self.srcs[0]}+{self.offset:#x}]")
+            ops.append(f"r{self.srcs[1]}")
+        else:
+            if self.dst is not None:
+                ops.append(f"r{self.dst}")
+            ops.extend(f"r{s}" for s in self.srcs)
+            if self.imm is not None:
+                ops.append(f"{self.imm:#x}")
+        if self.special is not None:
+            ops.append(self.special.value)
+        if self.cmp is not None:
+            ops.append(self.cmp.value)
+        if self.target is not None:
+            ops.append(self.target)
+        elif self.target_pc is not None:
+            ops.append(f"pc:{self.target_pc}")
+        if self.opcode in (Opcode.PIR, Opcode.PBR):
+            ops.append(f"{self.payload:#x}")
+        text = " ".join(parts)
+        if ops:
+            text += " " + ", ".join(ops)
+        return text

@@ -1,0 +1,94 @@
+"""Encoding of the 64-bit release-flag metadata instructions.
+
+Section 6.2 of the paper defines two metadata instruction formats, both
+64-bit aligned with a 10-bit opcode and a 54-bit payload:
+
+* **pir** (per-instruction release flag): eighteen 3-bit fields, one per
+  upcoming regular instruction in the basic block. Bit *i* of a field is
+  set when the *i*-th source register operand of that instruction can be
+  released after it is read.
+* **pbr** (per-branch release flag): nine 6-bit architected register
+  ids to release when the reconvergence block is entered. Fermi allows
+  63 registers per thread, so six bits suffice; we store ``id + 1`` so
+  that an all-zero field means "empty slot" (register ids start at 0).
+
+These helpers convert between Python-level flag lists and the packed
+payload integers stored in :attr:`Instruction.payload`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import EncodingError
+
+#: Size of the metadata payload (64-bit instruction minus 10-bit opcode).
+PAYLOAD_BITS = 54
+#: 3-bit release fields per pir instruction.
+PIR_CAPACITY = PAYLOAD_BITS // 3  # 18
+#: 6-bit register ids per pbr instruction.
+PBR_CAPACITY = PAYLOAD_BITS // 6  # 9
+#: Maximum register id encodable in a pbr 6-bit field (ids are stored +1).
+PBR_MAX_REG = (1 << 6) - 2  # 62
+#: Maximum source operands per instruction (CUDA ISA, Section 6.1).
+MAX_OPERANDS = 3
+
+
+def encode_pir(flag_sets: list[tuple[bool, ...]]) -> int:
+    """Pack up to 18 per-instruction operand release flags.
+
+    ``flag_sets[i]`` holds up to three booleans for the *i*-th covered
+    instruction; ``flag_sets[i][j]`` releases source operand *j*.
+    """
+    if len(flag_sets) > PIR_CAPACITY:
+        raise EncodingError(
+            f"pir covers at most {PIR_CAPACITY} instructions, "
+            f"got {len(flag_sets)}"
+        )
+    payload = 0
+    for index, flags in enumerate(flag_sets):
+        if len(flags) > MAX_OPERANDS:
+            raise EncodingError("at most three operand flags per instruction")
+        field = 0
+        for bit, released in enumerate(flags):
+            if released:
+                field |= 1 << bit
+        payload |= field << (3 * index)
+    return payload
+
+
+def decode_pir(payload: int) -> list[tuple[bool, bool, bool]]:
+    """Unpack a pir payload into 18 triples of operand release bits."""
+    if not 0 <= payload < (1 << PAYLOAD_BITS):
+        raise EncodingError("pir payload out of range")
+    fields = []
+    for index in range(PIR_CAPACITY):
+        field = (payload >> (3 * index)) & 0b111
+        fields.append((bool(field & 1), bool(field & 2), bool(field & 4)))
+    return fields
+
+
+def encode_pbr(regs: list[int]) -> int:
+    """Pack up to nine architected register ids to release."""
+    if len(regs) > PBR_CAPACITY:
+        raise EncodingError(
+            f"pbr releases at most {PBR_CAPACITY} registers, got {len(regs)}"
+        )
+    payload = 0
+    for index, reg in enumerate(regs):
+        if not 0 <= reg <= PBR_MAX_REG:
+            raise EncodingError(
+                f"register id {reg} not encodable in a 6-bit pbr field"
+            )
+        payload |= (reg + 1) << (6 * index)
+    return payload
+
+
+def decode_pbr(payload: int) -> list[int]:
+    """Unpack a pbr payload into the list of released register ids."""
+    if not 0 <= payload < (1 << PAYLOAD_BITS):
+        raise EncodingError("pbr payload out of range")
+    regs = []
+    for index in range(PBR_CAPACITY):
+        field = (payload >> (6 * index)) & 0b111111
+        if field:
+            regs.append(field - 1)
+    return regs

@@ -1,0 +1,159 @@
+"""Opcode definitions and static per-opcode metadata.
+
+Each opcode carries an :class:`OpcodeInfo` record describing which
+execution unit runs it, how many register sources it takes, and whether
+it is a branch / memory / barrier / metadata instruction. The simulator
+and the compiler both key off this table instead of switching on opcode
+names, so adding an opcode is a one-line change here plus a semantic
+function in :mod:`repro.sim.execute`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Unit(enum.Enum):
+    """Execution unit classes, used to pick instruction latency."""
+
+    ALU = "alu"
+    SFU = "sfu"
+    MEM = "mem"
+    CTRL = "ctrl"
+    META = "meta"
+
+
+class Opcode(enum.Enum):
+    """Instruction opcodes of the simulated ISA."""
+
+    # Data movement / integer ALU
+    MOV = "MOV"
+    MOVI = "MOVI"
+    IADD = "IADD"
+    IADDI = "IADDI"
+    ISUB = "ISUB"
+    IMUL = "IMUL"
+    IMAD = "IMAD"
+    AND = "AND"
+    OR = "OR"
+    XOR = "XOR"
+    SHL = "SHL"
+    SHR = "SHR"
+    IMIN = "IMIN"
+    IMAX = "IMAX"
+    SEL = "SEL"
+    # Floating point (modelled on integer lanes; latency is what matters)
+    FADD = "FADD"
+    FMUL = "FMUL"
+    FFMA = "FFMA"
+    # Special function unit
+    RCP = "RCP"
+    SQRT = "SQRT"
+    # Predicate / special registers
+    SETP = "SETP"
+    S2R = "S2R"
+    # Memory
+    LDG = "LDG"
+    STG = "STG"
+    LDS = "LDS"
+    STS = "STS"
+    # Control
+    BRA = "BRA"
+    BAR = "BAR"
+    EXIT = "EXIT"
+    NOP = "NOP"
+    # Compiler metadata (Section 6.2)
+    PIR = "PIR"
+    PBR = "PBR"
+
+
+class CmpOp(enum.Enum):
+    """Comparison operators for ``SETP``."""
+
+    LT = "LT"
+    LE = "LE"
+    GT = "GT"
+    GE = "GE"
+    EQ = "EQ"
+    NE = "NE"
+
+
+class Special(enum.Enum):
+    """Special registers readable via ``S2R``."""
+
+    TID = "SR_TID"  # thread index within the CTA (flattened)
+    CTAID = "SR_CTAID"  # CTA index within the grid (flattened)
+    NTID = "SR_NTID"  # threads per CTA
+    NCTAID = "SR_NCTAID"  # CTAs in the grid
+    LANEID = "SR_LANEID"  # lane within the warp
+    WARPID = "SR_WARPID"  # warp index within the CTA
+
+
+class MemSpace(enum.Enum):
+    """Memory spaces addressable by loads and stores."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static properties of one opcode."""
+
+    unit: Unit
+    #: Number of register source operands (exact).
+    num_srcs: int
+    has_dst: bool = False
+    writes_pred: bool = False
+    takes_imm: bool = False
+    is_branch: bool = False
+    is_memory: bool = False
+    is_store: bool = False
+    is_barrier: bool = False
+    is_exit: bool = False
+    is_meta: bool = False
+
+
+_INFO: dict[Opcode, OpcodeInfo] = {
+    Opcode.MOV: OpcodeInfo(Unit.ALU, 1, has_dst=True),
+    Opcode.MOVI: OpcodeInfo(Unit.ALU, 0, has_dst=True, takes_imm=True),
+    Opcode.IADD: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.IADDI: OpcodeInfo(Unit.ALU, 1, has_dst=True, takes_imm=True),
+    Opcode.ISUB: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.IMUL: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.IMAD: OpcodeInfo(Unit.ALU, 3, has_dst=True),
+    Opcode.AND: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.OR: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.XOR: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.SHL: OpcodeInfo(Unit.ALU, 1, has_dst=True, takes_imm=True),
+    Opcode.SHR: OpcodeInfo(Unit.ALU, 1, has_dst=True, takes_imm=True),
+    Opcode.IMIN: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.IMAX: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.SEL: OpcodeInfo(Unit.ALU, 3, has_dst=True),
+    Opcode.FADD: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.FMUL: OpcodeInfo(Unit.ALU, 2, has_dst=True),
+    Opcode.FFMA: OpcodeInfo(Unit.ALU, 3, has_dst=True),
+    Opcode.RCP: OpcodeInfo(Unit.SFU, 1, has_dst=True),
+    Opcode.SQRT: OpcodeInfo(Unit.SFU, 1, has_dst=True),
+    # SETP's second operand may be an immediate, in which case num_srcs
+    # drops to one; ``Instruction.validate`` accepts num_srcs or
+    # num_srcs-1 when takes_imm is set and an immediate is present.
+    Opcode.SETP: OpcodeInfo(Unit.ALU, 2, writes_pred=True, takes_imm=True),
+    Opcode.S2R: OpcodeInfo(Unit.ALU, 0, has_dst=True),
+    Opcode.LDG: OpcodeInfo(Unit.MEM, 1, has_dst=True, is_memory=True),
+    Opcode.STG: OpcodeInfo(Unit.MEM, 2, is_memory=True, is_store=True),
+    Opcode.LDS: OpcodeInfo(Unit.MEM, 1, has_dst=True, is_memory=True),
+    Opcode.STS: OpcodeInfo(Unit.MEM, 2, is_memory=True, is_store=True),
+    Opcode.BRA: OpcodeInfo(Unit.CTRL, 0, is_branch=True),
+    Opcode.BAR: OpcodeInfo(Unit.CTRL, 0, is_barrier=True),
+    Opcode.EXIT: OpcodeInfo(Unit.CTRL, 0, is_exit=True),
+    Opcode.NOP: OpcodeInfo(Unit.CTRL, 0),
+    Opcode.PIR: OpcodeInfo(Unit.META, 0, is_meta=True),
+    Opcode.PBR: OpcodeInfo(Unit.META, 0, is_meta=True),
+}
+
+
+def opcode_info(opcode: Opcode) -> OpcodeInfo:
+    """Return the static :class:`OpcodeInfo` for ``opcode``."""
+    return _INFO[opcode]

@@ -1,0 +1,63 @@
+"""Kernel launch geometry shared by the compiler and the simulator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class LaunchConfig:
+    """Grid/CTA shape of one kernel launch (flattened to 1-D).
+
+    ``conc_ctas_per_sm`` optionally pins the number of concurrently
+    resident CTAs per SM (Table 1 reports it per benchmark); when left
+    ``None`` the simulator computes it from the occupancy limits.
+    """
+
+    grid_ctas: int
+    threads_per_cta: int
+    conc_ctas_per_sm: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.grid_ctas <= 0 or self.threads_per_cta <= 0:
+            raise ConfigError("grid and CTA sizes must be positive")
+        if self.conc_ctas_per_sm is not None and self.conc_ctas_per_sm <= 0:
+            raise ConfigError("conc_ctas_per_sm must be positive")
+
+    def warps_per_cta(self, warp_size: int = 32) -> int:
+        return math.ceil(self.threads_per_cta / warp_size)
+
+    def resident_ctas(self, config: GPUConfig, regs_per_thread: int) -> int:
+        """Concurrent CTAs per SM under the occupancy limits.
+
+        Registers are counted against the *architected* register file:
+        with virtualization the application transparently sees the full
+        architected space even when the physical file is smaller (8.1).
+        """
+        warps = self.warps_per_cta(config.warp_size)
+        regs_per_cta = warps * max(1, regs_per_thread)
+        limits = [
+            config.max_ctas_per_sm,
+            config.max_warps_per_sm // warps if warps else 0,
+            config.total_architected_registers // regs_per_cta,
+            self.grid_ctas,
+        ]
+        if self.conc_ctas_per_sm is not None:
+            limits.append(self.conc_ctas_per_sm)
+        conc = min(limits)
+        if conc <= 0:
+            raise ConfigError(
+                "kernel cannot be resident: a single CTA exceeds the SM "
+                f"(warps={warps}, regs/cta={regs_per_cta})"
+            )
+        return conc
+
+    def resident_warps(self, config: GPUConfig, regs_per_thread: int) -> int:
+        """Concurrently resident warps per SM."""
+        return self.resident_ctas(config, regs_per_thread) * self.warps_per_cta(
+            config.warp_size
+        )

@@ -1,0 +1,36 @@
+"""Register-file power and energy models.
+
+The paper uses GPUWattch (dynamic/leakage power), CACTI 5.3 (the
+Table 2 renaming-table and register-bank parameters) and CACTI-P
+(sub-array power gating, wake-up delay). We replace them with an
+analytic model anchored to the numbers the paper itself publishes:
+
+* Table 2's 40 nm per-access energies and leakage powers are taken
+  verbatim (:mod:`repro.power.cacti`).
+* Dynamic energy-per-access scales with array size as ``size**alpha``
+  with alpha calibrated so halving the register file cuts dynamic power
+  by 20 % — Fig. 7's anchor point; leakage scales linearly with size,
+  and the baseline dynamic:leakage split is 2:1 so that total power
+  drops 30 % at half size, Fig. 7's other anchor
+  (:mod:`repro.power.regfile_power`).
+* Fig. 9's planar/FinFET leakage-fraction trajectory is encoded as a
+  data table (:mod:`repro.power.technology`).
+* :mod:`repro.power.energy` turns simulator statistics into the Fig. 12
+  four-component energy breakdown (dynamic, static, renaming table,
+  flag instructions).
+"""
+
+from repro.power.cacti import SramArrayModel, TABLE2_PARAMETERS
+from repro.power.regfile_power import RegisterFilePowerModel
+from repro.power.technology import TECHNOLOGY_LEAKAGE, leakage_factor
+from repro.power.energy import EnergyBreakdown, energy_breakdown
+
+__all__ = [
+    "SramArrayModel",
+    "TABLE2_PARAMETERS",
+    "RegisterFilePowerModel",
+    "TECHNOLOGY_LEAKAGE",
+    "leakage_factor",
+    "EnergyBreakdown",
+    "energy_breakdown",
+]

@@ -1,0 +1,112 @@
+"""Register-file energy accounting from simulator statistics (Fig. 12).
+
+Fig. 12 decomposes total register-file energy into four components,
+normalized to the 128 KB baseline without renaming:
+
+* **Dynamic** — RF operand accesses x per-access energy (size-scaled).
+* **Static** — leakage integrated over time; with sub-array power
+  gating only powered sub-arrays leak (the simulator reports the
+  powered-sub-array time integral).
+* **Renaming Table** — table lookups/updates at Table 2's 1.14 pJ plus
+  the table's own four-bank leakage.
+* **Flag Instruction** — fetch/decode of pir/pbr metadata plus release
+  flag cache probes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.power.cacti import SramArrayModel, TABLE2_PARAMETERS
+from repro.power.regfile_power import (
+    FETCH_DECODE_PJ,
+    FLAG_CACHE_PROBE_PJ,
+    RegisterFilePowerModel,
+)
+from repro.sim.stats import SimStats
+
+_PJ = 1e-12
+_MW = 1e-3
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules per component for one simulated SM run."""
+
+    dynamic: float
+    static: float
+    renaming_table: float
+    flag_instruction: float
+    #: Register-file-cache accesses (the [20] baseline; zero otherwise).
+    rfc: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.dynamic + self.static
+            + self.renaming_table + self.flag_instruction + self.rfc
+        )
+
+    def normalized_to(self, baseline: "EnergyBreakdown") -> dict[str, float]:
+        """Each component as a fraction of ``baseline.total``."""
+        base = baseline.total
+        return {
+            "dynamic": self.dynamic / base,
+            "static": self.static / base,
+            "renaming_table": self.renaming_table / base,
+            "flag_instruction": self.flag_instruction / base,
+            "rfc": self.rfc / base,
+            "total": self.total / base,
+        }
+
+
+def energy_breakdown(
+    stats: SimStats, config: GPUConfig, renaming_active: bool = True
+) -> EnergyBreakdown:
+    """Compute the Fig. 12 components for one run."""
+    model = RegisterFilePowerModel(config)
+    seconds = model.cycles_to_seconds(stats.cycles)
+
+    accesses = stats.rf_reads + stats.rf_writes
+    dynamic = accesses * model.access_energy_pj() * _PJ
+
+    if config.gating_enabled:
+        active_seconds = model.cycles_to_seconds(
+            stats.subarray_active_cycles
+        )
+        static = model.leakage_per_subarray_mw() * _MW * active_seconds
+    else:
+        static = model.leakage_total_mw() * _MW * seconds
+
+    renaming = 0.0
+    flags = 0.0
+    if renaming_active:
+        table = TABLE2_PARAMETERS["renaming_table"]
+        table_model = SramArrayModel.renaming_table(table.size_bytes)
+        table_accesses = stats.renaming_reads + stats.renaming_writes
+        renaming = (
+            table_accesses * table_model.access_energy_pj() * _PJ
+            + table.banks * table.leakage_per_bank_mw * _MW * seconds
+        )
+        decoded = stats.pir_decoded + stats.pbr_decoded
+        probes = stats.flag_cache_hits + stats.flag_cache_misses
+        flags = (
+            decoded * FETCH_DECODE_PJ * _PJ
+            + probes * FLAG_CACHE_PROBE_PJ * _PJ
+        )
+    rfc = 0.0
+    rfc_accesses = stats.rfc_reads + stats.rfc_writes
+    if rfc_accesses and config.rfc_entries_per_warp:
+        rfc = (
+            rfc_accesses
+            * model.rfc_access_energy_pj(config.rfc_entries_per_warp)
+            * _PJ
+        )
+    return EnergyBreakdown(
+        dynamic=dynamic,
+        static=static,
+        renaming_table=renaming,
+        flag_instruction=flags,
+        rfc=rfc,
+    )

@@ -1,0 +1,119 @@
+"""Register-file power as a function of size (Fig. 7) and the
+per-component rates used by the energy accounting.
+
+Model structure:
+
+* One warp-register operand access drives the eight 4 KB sub-banks of a
+  main bank in parallel, so the per-operand dynamic energy at full size
+  is ``8 x 4.68 pJ`` and scales with per-sub-bank capacity as
+  ``size**alpha`` (see :mod:`repro.power.cacti`).
+* Leakage is linear in capacity: a full 128 KB file leaks
+  ``32 x 2.8 mW``; each gating sub-array (8 KB) accounts for its
+  proportional share.
+* For the Fig. 7 *power* curve a nominal activity is required. We
+  calibrate it so that the baseline dynamic:leakage split is 2:1, which
+  makes the model land exactly on Fig. 7's published anchor (halving
+  the RF cuts dynamic power by 20 % and total RF power by 30 %).
+
+The paper's Fermi-class baseline runs its cores at 700 MHz (the
+GPGPU-Sim GTX 480 configuration); cycle counts convert to seconds with
+that clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.errors import ConfigError
+from repro.power.cacti import SramArrayModel, TABLE2_PARAMETERS
+
+#: Core clock of the simulated SM (GPGPU-Sim GTX 480 configuration).
+CLOCK_HZ = 700e6
+#: Sub-banks driven by one warp-register operand access.
+SUBBANKS_PER_ACCESS = 8
+#: Baseline dynamic / leakage power ratio used to calibrate nominal
+#: activity for the Fig. 7 curve (yields the published 30 % total
+#: saving at half size).
+DYNAMIC_TO_LEAKAGE_RATIO = 2.0
+#: Fetch+decode energy charged per decoded (meta)instruction; the
+#: GPUWattch front-end cost per instruction on the Fermi model.
+FETCH_DECODE_PJ = 25.0
+#: Energy of probing the 68-byte release flag cache.
+FLAG_CACHE_PROBE_PJ = 0.05
+
+
+@dataclass(frozen=True)
+class RegisterFilePowerModel:
+    """Power/energy rates for one SM's register file."""
+
+    config: GPUConfig
+
+    # --- dynamic ------------------------------------------------------------
+    def access_energy_pj(self) -> float:
+        """Energy of one warp-register operand access (read or write)."""
+        full_bytes = self.config.regfile_bytes
+        phys_bytes = (
+            self.config.physical_regfile_bytes or self.config.regfile_bytes
+        )
+        subbank_bytes = full_bytes // (
+            self.config.num_banks * SUBBANKS_PER_ACCESS
+        )
+        subbank_bytes = subbank_bytes * phys_bytes // full_bytes
+        model = SramArrayModel.register_subbank(subbank_bytes)
+        return SUBBANKS_PER_ACCESS * model.access_energy_pj()
+
+    def rfc_access_energy_pj(self, entries_per_warp: int) -> float:
+        """Energy of one register-file-cache operand access ([20]).
+
+        The RFC slice seen by one operand is tiny (entries x 16 B per
+        4-lane sub-bank), so the CACTI capacity scaling prices it at a
+        fraction of a main-bank access.
+        """
+        subbank_bytes = max(16, entries_per_warp * 16)
+        model = SramArrayModel.register_subbank(subbank_bytes)
+        return SUBBANKS_PER_ACCESS * model.access_energy_pj()
+
+    # --- leakage --------------------------------------------------------------
+    def leakage_total_mw(self) -> float:
+        """Leakage of the whole (physical) register file, ungated."""
+        phys_bytes = (
+            self.config.physical_regfile_bytes or self.config.regfile_bytes
+        )
+        bank = TABLE2_PARAMETERS["register_bank"]
+        return bank.leakage_per_bank_mw * phys_bytes / bank.size_bytes
+
+    def leakage_per_subarray_mw(self) -> float:
+        """Leakage of one gating sub-array when powered."""
+        subarray_bytes = self.config.registers_per_subarray * 128
+        bank = TABLE2_PARAMETERS["register_bank"]
+        return bank.leakage_per_bank_mw * subarray_bytes / bank.size_bytes
+
+    # --- Fig. 7: power vs size reduction ------------------------------------------
+    def power_vs_size(self, reduction: float) -> dict[str, float]:
+        """Normalized RF power at ``reduction`` (0..0.5+) size cut.
+
+        Returns dynamic, leakage and total power of the shrunk file,
+        each normalized to the full-size file's corresponding total.
+        """
+        if not 0.0 <= reduction < 1.0:
+            raise ConfigError("size reduction must be in [0, 1)")
+        remaining = 1.0 - reduction
+        from repro.power.cacti import DYNAMIC_SIZE_EXPONENT
+
+        dyn_share = DYNAMIC_TO_LEAKAGE_RATIO / (
+            1.0 + DYNAMIC_TO_LEAKAGE_RATIO
+        )
+        leak_share = 1.0 - dyn_share
+        dynamic = dyn_share * remaining ** DYNAMIC_SIZE_EXPONENT
+        leakage = leak_share * remaining
+        return {
+            "dynamic": dynamic / dyn_share,  # normalized to its own base
+            "leakage": leakage / leak_share,
+            "total": dynamic + leakage,
+        }
+
+    # --- helpers ---------------------------------------------------------------------
+    @staticmethod
+    def cycles_to_seconds(cycles: float) -> float:
+        return cycles / CLOCK_HZ

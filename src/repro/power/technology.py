@@ -1,0 +1,45 @@
+"""Technology-node leakage trajectory (Fig. 9).
+
+Fig. 9 plots the fraction of total GPU power that is leakage when the
+chip is built in successive technologies, normalized to 40 nm planar.
+The qualitative story (Section 8.2): planar scaling makes the leakage
+fraction climb steeply (a hypothetical 22 nm planar GPU would be the
+worst), the 22 nm FinFET transition resets it back near the 40 nm
+baseline, and the climb then resumes from that new reset point through
+16 nm and 10 nm FinFET — so leakage-reduction techniques such as the
+paper's sub-array gating remain relevant in current and future nodes.
+
+The numeric values are digitized from the figure's shape; they are a
+data table, not a model.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+#: Leakage-power fraction normalized to the 40 nm planar baseline.
+#: ``P`` = planar MOSFET, ``F`` = FinFET (Fig. 9's x-axis labels).
+TECHNOLOGY_LEAKAGE: dict[str, float] = {
+    "40nm-P": 1.00,
+    "32nm-P": 1.12,
+    "22nm-P": 1.38,
+    "22nm-F": 1.02,
+    "16nm-F": 1.14,
+    "10nm-F": 1.29,
+}
+
+#: Fig. 9's left-to-right ordering.
+TECHNOLOGY_ORDER = tuple(TECHNOLOGY_LEAKAGE)
+
+
+def leakage_factor(node: str) -> float:
+    """Leakage fraction of ``node`` relative to 40 nm planar."""
+    try:
+        return TECHNOLOGY_LEAKAGE[node]
+    except KeyError:
+        known = ", ".join(TECHNOLOGY_ORDER)
+        raise ConfigError(f"unknown technology '{node}'; known: {known}")
+
+
+def is_finfet(node: str) -> bool:
+    return node.endswith("-F")

@@ -1,0 +1,26 @@
+"""Cycle-level simulator of one GPU streaming multiprocessor (SM).
+
+The model follows the paper's GPGPU-Sim v3.2.1 baseline (Section 9):
+
+* dual issue (two schedulers, one instruction each per cycle),
+* a two-level warp scheduler with a six-warp ready queue,
+* a 4-bank register file with an operand-collector bank-conflict model,
+* SIMT-stack branch divergence with immediate-postdominator
+  reconvergence,
+* a latency/bandwidth global-memory model and low-latency shared memory,
+* CTA-granularity resource allocation and barriers.
+
+On top of the baseline it implements the paper's proposal: a per-warp
+renaming table with bank-preserving allocation, the release flag cache,
+compiler-directed register release (pir/pbr), GPU-shrink CTA throttling
+with per-CTA register-balance counters, the register spill/fill corner
+case, and sub-array power gating with wake-up latency.
+
+Entry points: :class:`repro.sim.gpu.GPU` and
+:func:`repro.sim.gpu.simulate`.
+"""
+
+from repro.sim.gpu import GPU, SimulationResult, simulate
+from repro.sim.stats import SimStats
+
+__all__ = ["GPU", "SimulationResult", "simulate", "SimStats"]

@@ -1,0 +1,752 @@
+"""The streaming-multiprocessor (SM) core model.
+
+One :class:`SMCore` owns resident CTAs and warps, the two issue
+schedulers, the physical register file, the renaming table and release
+flag cache (when virtualization is on), the memory timing unit, and an
+event heap for writebacks. :meth:`SMCore.tick` advances one cycle;
+:meth:`SMCore.run` drives the simulation to completion, fast-forwarding
+through cycles where nothing can issue.
+
+Register management modes:
+
+* ``baseline`` — the conventional GPU: every architected register of
+  every warp is pinned at CTA launch and freed at CTA completion.
+* ``flags`` — the paper's virtualization: write-allocate, compiler
+  pir/pbr release, optional GPU-shrink under-provisioning with CTA
+  throttling and the spill corner case (Section 8.1).
+* ``redefine`` — the hardware-only baseline [46]: write-allocate,
+  release only on redefinition.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+
+from repro.arch import GPUConfig
+from repro.compiler.banks import bank_of
+from repro.compiler.reconvergence import ensure_reconvergence
+from repro.errors import DeadlockError, SimulationError
+from repro.isa.kernel import Kernel
+from repro.isa.opcodes import MemSpace, Opcode, Unit
+from repro.launch import LaunchConfig
+from repro.sim.execute import array_to_mask, effective_mask, execute
+from repro.sim.memory import GlobalMemory, MemoryUnit, SharedMemory
+from repro.sim.regfile import PhysicalRegisterFile
+from repro.sim.release_cache import ReleaseFlagCache
+from repro.sim.renaming import RenamingTable
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.stats import SimStats
+from repro.sim.warp import Warp, WarpStatus
+
+#: Consecutive stalled cycles with failed allocations before the
+#: spill corner case engages.
+SPILL_TRIGGER_CYCLES = 256
+#: Extra free registers required before a spilled warp fills back
+#: (hysteresis against spill/fill thrash).
+FILL_HYSTERESIS = 4
+
+_MODES = ("baseline", "flags", "redefine")
+
+
+class _Issue(enum.Enum):
+    ISSUED = 0
+    SCOREBOARD = 1
+    ALLOC = 2
+    FORBIDDEN = 3  # throttle forbids this warp to allocate a register
+
+
+#: Sentinels returned by ``_register_access`` alongside int penalties.
+_ALLOC_FAIL = object()
+_ALLOC_FORBIDDEN = object()
+
+
+class CTA:
+    """One resident cooperative thread array."""
+
+    _uids = itertools.count()
+
+    def __init__(self, slot: int, ctaid: int, num_threads: int,
+                 grid_ctas: int):
+        self.uid = next(CTA._uids)
+        self.slot = slot
+        self.ctaid = ctaid
+        self.num_threads = num_threads
+        self.grid_ctas = grid_ctas
+        self.shared = SharedMemory()
+        self.warps: list[Warp] = []
+        self.live_warps = 0
+        self.barrier_arrived = 0
+        #: Physical registers pinned by the baseline policy.
+        self.static_phys: list[int] = []
+        #: Worst-case register demand C = warps x regs (Section 8.1).
+        self.required_regs = 0
+
+
+class SMCore:
+    """Cycle-level model of one SM executing one kernel."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        mode: str = "baseline",
+        threshold: int = 0,
+        gmem: GlobalMemory | None = None,
+        sample_interval: int = 0,
+        trace_warp_slots: tuple[int, ...] = (),
+        spill_enabled: bool = True,
+        sm_id: int = 0,
+    ):
+        if mode not in _MODES:
+            raise SimulationError(f"unknown register mode '{mode}'")
+        if mode == "baseline" and config.is_underprovisioned:
+            raise SimulationError(
+                "baseline mode cannot run on an under-provisioned register "
+                "file; recompile with the spill baseline instead"
+            )
+        self.config = config
+        self.kernel = kernel
+        ensure_reconvergence(kernel)
+        self.instructions = kernel.instructions
+        self.launch = launch
+        self.mode = mode
+        self.sm_id = sm_id
+        self.stats = SimStats()
+        self.gmem = gmem if gmem is not None else GlobalMemory()
+        self.regfile = PhysicalRegisterFile(config, self.stats)
+        self.spill_enabled = spill_enabled
+
+        self.renaming: RenamingTable | None = None
+        self.flag_cache: ReleaseFlagCache | None = None
+        if mode != "baseline":
+            tracer = None
+            if trace_warp_slots:
+                traced = set(trace_warp_slots)
+
+                def tracer(slot, arch, event, cycle, _traced=traced):
+                    if slot in _traced:
+                        self.stats.lifetime_events.append(
+                            (cycle, slot, arch, event)
+                        )
+
+            self.renaming = RenamingTable(
+                config, self.regfile, self.stats,
+                threshold=threshold if mode == "flags" else 0,
+                mode=mode, tracer=tracer,
+            )
+        if mode == "flags":
+            self.flag_cache = ReleaseFlagCache(
+                config.release_flag_cache_entries
+            )
+
+        self.rfc = None
+        if config.rfc_entries_per_warp > 0:
+            if mode != "baseline":
+                raise SimulationError(
+                    "the register file cache baseline only combines with "
+                    "baseline register management"
+                )
+            from repro.sim.rfc import RegisterFileCache
+
+            self.rfc = RegisterFileCache(
+                config.rfc_entries_per_warp, self.stats
+            )
+
+        self.mem_unit = MemoryUnit(
+            config.global_mem_latency, config.mem_requests_per_cycle
+        )
+        per_sched = max(1, config.ready_queue_size // config.num_schedulers)
+        self.schedulers = [
+            WarpScheduler(sid, per_sched, policy=config.scheduler_policy)
+            for sid in range(config.num_schedulers)
+        ]
+
+        self.cycle = 0
+        self._events: list[tuple[int, int, str, tuple]] = []
+        self._seq = itertools.count()
+        self.cta_queue: list[int] = []
+        self.resident: list[CTA] = []
+        self.warps_per_cta = launch.warps_per_cta(config.warp_size)
+        self.regs_per_thread = max(1, kernel.num_regs)
+        self.conc_ctas = launch.resident_ctas(config, kernel.num_regs)
+        self._free_warp_slots = list(range(config.max_warps_per_sm))
+        self._free_cta_slots = list(range(config.max_ctas_per_sm))
+
+        self.sample_interval = sample_interval
+        self._next_sample = 0
+        self._alloc_fail_streak = 0
+        self._spilled: list[Warp] = []
+
+    # ------------------------------------------------------------------ events
+    def _push_event(self, cycle: int, kind: str, payload: tuple) -> None:
+        heapq.heappush(self._events, (cycle, next(self._seq), kind, payload))
+
+    def _process_events(self, now: int) -> None:
+        events = self._events
+        while events and events[0][0] <= now:
+            _, _, kind, payload = heapq.heappop(events)
+            if kind == "wb":
+                warp, inst = payload
+                warp.scoreboard_clear(inst)
+            elif kind == "mem_wb":
+                warp, inst = payload
+                warp.scoreboard_clear(inst)
+                warp.outstanding_mem -= 1
+            elif kind == "spill_done":
+                (warp,) = payload
+                warp.status = WarpStatus.SPILLED
+            elif kind == "fill_done":
+                (warp,) = payload
+                warp.status = WarpStatus.ACTIVE
+                warp.spilled_regs = ()
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event kind {kind}")
+
+    # ------------------------------------------------------------- CTA launch
+    def _launch_ctas(self, now: int) -> None:
+        while (
+            self.cta_queue
+            and len(self.resident) < self.conc_ctas
+            and self._free_cta_slots
+            and len(self._free_warp_slots) >= self.warps_per_cta
+        ):
+            if not self._launch_one_cta(now):
+                break
+
+    def _launch_one_cta(self, now: int) -> bool:
+        ctaid = self.cta_queue[0]
+        slot = self._free_cta_slots[0]
+        cta = CTA(slot, ctaid, self.launch.threads_per_cta,
+                  self.launch.grid_ctas)
+        cta.required_regs = self.warps_per_cta * self.regs_per_thread
+
+        if self.mode == "baseline":
+            needed = cta.required_regs
+            if self.regfile.free_count < needed:
+                return False
+            slots_preview = self._free_warp_slots[:self.warps_per_cta]
+            for wslot in slots_preview:
+                for reg in range(self.regs_per_thread):
+                    result = self.regfile.allocate(
+                        bank_of(reg, wslot, self.config.num_banks), now
+                    )
+                    if result is None:  # pragma: no cover - sized above
+                        raise SimulationError("baseline allocation failed")
+                    cta.static_phys.append(result[0])
+            self.stats.architected_registers_demand += needed
+
+        warp_slots = []
+        threads_left = self.launch.threads_per_cta
+        for index in range(self.warps_per_cta):
+            wslot = self._free_warp_slots[0]
+            if self.renaming is not None:
+                if not self.renaming.launch_warp(wslot, cta.uid, now):
+                    # Not enough registers for the exempt set: undo.
+                    for launched in cta.warps:
+                        self.renaming.finish_warp(launched.slot, now)
+                        self._free_warp_slots.append(launched.slot)
+                    self._free_warp_slots.sort()
+                    for phys in cta.static_phys:
+                        self.regfile.free(phys, now)
+                    return False
+            self._free_warp_slots.pop(0)
+            active = min(self.config.warp_size, threads_left)
+            threads_left -= active
+            warp = Warp(wslot, cta, index, self.config.warp_size, active)
+            if self.rfc is not None:
+                self.rfc.attach_warp(wslot)
+            cta.warps.append(warp)
+            warp_slots.append(wslot)
+
+        cta.live_warps = len(cta.warps)
+        self.cta_queue.pop(0)
+        self._free_cta_slots.pop(0)
+        self.resident.append(cta)
+        allocated = sum(c.required_regs for c in self.resident)
+        if allocated > self.stats.max_architected_allocated:
+            self.stats.max_architected_allocated = allocated
+        for warp in cta.warps:
+            self.schedulers[warp.slot % len(self.schedulers)].add(warp)
+        return True
+
+    def _complete_cta(self, cta: CTA, now: int) -> None:
+        for phys in cta.static_phys:
+            self.regfile.free(phys, now)
+        cta.static_phys.clear()
+        if self.renaming is not None:
+            self.renaming.forget_cta(cta.uid)
+        self.resident.remove(cta)
+        self._free_cta_slots.append(cta.slot)
+        self._free_cta_slots.sort()
+        self.stats.ctas_completed += 1
+
+    def _finish_warp(self, warp: Warp, now: int) -> None:
+        warp.status = WarpStatus.FINISHED
+        self.schedulers[warp.slot % len(self.schedulers)].remove(warp)
+        if self.renaming is not None:
+            self.renaming.finish_warp(warp.slot, now)
+        if self.rfc is not None:
+            self._mrf_writebacks(warp, self.rfc.detach_warp(warp.slot))
+        self._free_warp_slots.append(warp.slot)
+        self._free_warp_slots.sort()
+        self.stats.warps_completed += 1
+        cta = warp.cta
+        cta.live_warps -= 1
+        if cta.live_warps == 0:
+            self._complete_cta(cta, now)
+        elif cta.barrier_arrived >= cta.live_warps > 0:
+            # A warp exiting can satisfy a barrier its siblings wait at.
+            cta.barrier_arrived = 0
+            for peer in cta.warps:
+                if peer.status is WarpStatus.AT_BARRIER:
+                    peer.status = WarpStatus.ACTIVE
+
+    # ------------------------------------------------------------- throttling
+    def _throttle(self) -> int | None:
+        """GPU-shrink CTA throttling (Section 8.1).
+
+        Returns the uid of the only CTA allowed to issue, or ``None``
+        when no restriction applies.
+        """
+        if (
+            self.renaming is None
+            or not self.config.is_underprovisioned
+            or not self.resident
+        ):
+            return None
+        counters = (
+            self.renaming.cta_assigned
+            if self.config.throttle_policy == "assigned"
+            else self.renaming.cta_allocated
+        )
+        best_cta = None
+        min_balance = None
+        for cta in self.resident:
+            balance = cta.required_regs - counters.get(cta.uid, 0)
+            if min_balance is None or balance < min_balance:
+                min_balance = balance
+                best_cta = cta
+        if self.regfile.free_count > max(0, min_balance):
+            return None
+        self.stats.throttle_activations += 1
+        return best_cta.uid
+
+    # ------------------------------------------------------------------ spill
+    def _maybe_spill(self, now: int) -> bool:
+        """Engage the Section 8.1 spill corner case. Returns True if
+        a spill was initiated."""
+        if (
+            not self.spill_enabled
+            or self.renaming is None
+            or not self.config.is_underprovisioned
+        ):
+            return False
+        candidates = [
+            warp
+            for cta in self.resident
+            for warp in cta.warps
+            if warp.status is WarpStatus.ACTIVE
+            and self.renaming.mapped_count(warp.slot) > 0
+        ]
+        if len(candidates) <= 1:
+            return False
+        victim = min(candidates, key=lambda w: w.last_issue_cycle)
+        regs = self.renaming.spill_warp(victim.slot, now)
+        if not regs:
+            return False
+        victim.spilled_regs = regs
+        victim.status = WarpStatus.SPILLING
+        self.schedulers[victim.slot % len(self.schedulers)].demote(victim)
+        # Coalesced spill: one memory operation per architected register.
+        duration = self.config.spill_latency + len(regs)
+        self._push_event(now + duration, "spill_done", (victim,))
+        self.stats.spill_events += 1
+        self.stats.spilled_registers += len(regs)
+        self._alloc_fail_streak = 0
+        return True
+
+    def _fill_spilled(self, now: int) -> None:
+        for cta in self.resident:
+            for warp in cta.warps:
+                if warp.status is not WarpStatus.SPILLED:
+                    continue
+                needed = len(warp.spilled_regs) + FILL_HYSTERESIS
+                if self.regfile.free_count < needed:
+                    continue
+                if self.renaming.fill_warp(warp.slot, warp.spilled_regs, now):
+                    warp.status = WarpStatus.FILLING
+                    duration = (
+                        self.config.spill_latency + len(warp.spilled_regs)
+                    )
+                    self._push_event(now + duration, "fill_done", (warp,))
+                    self.stats.fill_events += 1
+
+    # --------------------------------------------------------------- sampling
+    def _record_samples_until(self, now: int) -> None:
+        if not self.sample_interval:
+            return
+        while self._next_sample <= now:
+            allocated = sum(cta.required_regs for cta in self.resident)
+            live = (
+                self.regfile.live_count
+                if self.renaming is not None
+                else allocated
+            )
+            self.stats.live_samples.append(
+                (self._next_sample, live, allocated)
+            )
+            self._next_sample += self.sample_interval
+
+    # -------------------------------------------------------------------- issue
+    def _try_issue(self, warp: Warp, now: int,
+                   forbid_alloc: bool = False) -> _Issue:
+        stack = warp.stack
+        stack.maybe_reconverge()
+
+        # Zero-cost skip of pir flag words already in the release flag
+        # cache (Section 7.2): the Sched-info stage recognizes the PC and
+        # does not spend fetch/decode on them.
+        while True:
+            inst = self.instructions[warp.pc]
+            if inst.opcode is Opcode.PIR:
+                if self.flag_cache is not None and self.flag_cache.probe(
+                    warp.pc
+                ):
+                    self.stats.pir_skipped += 1
+                    warp.pc += 1
+                    continue
+                if self.flag_cache is not None:
+                    self.flag_cache.install(warp.pc)
+                self.stats.pir_decoded += 1
+                warp.pc += 1
+                warp.last_issue_cycle = now
+                return _Issue.ISSUED
+            break
+
+        if inst.opcode is Opcode.PBR:
+            self.stats.pbr_decoded += 1
+            if self.renaming is not None:
+                for reg in inst.release_regs:
+                    self.renaming.release(warp.slot, reg, now)
+            warp.pc += 1
+            warp.last_issue_cycle = now
+            return _Issue.ISSUED
+
+        if not warp.scoreboard_ready(inst):
+            return _Issue.SCOREBOARD
+
+        penalty = self._register_access(warp, inst, now, forbid_alloc)
+        if penalty is _ALLOC_FORBIDDEN:
+            return _Issue.FORBIDDEN
+        if penalty is _ALLOC_FAIL:
+            self._alloc_fail_streak += 1
+            return _Issue.ALLOC
+
+        taken = execute(inst, warp, self.gmem)
+        self.stats.instructions += 1
+        warp.last_issue_cycle = now
+        self._alloc_fail_streak = 0
+
+        if self.renaming is not None and inst.release_srcs:
+            for reg, flag in zip(inst.srcs, inst.release_srcs):
+                if flag:
+                    self.renaming.release(warp.slot, reg, now)
+
+        self._retire(warp, inst, taken, penalty, now)
+        return _Issue.ISSUED
+
+    def _register_access(self, warp: Warp, inst, now: int,
+                         forbid_alloc: bool = False):
+        """Perform renaming lookups and RF accesses.
+
+        Returns the extra latency in cycles (bank conflicts, wake-up),
+        ``_ALLOC_FAIL`` when destination allocation failed, or
+        ``_ALLOC_FORBIDDEN`` when the throttle forbids this warp from
+        taking a new register (it may still issue non-allocating
+        instructions; only new allocations would endanger the
+        restricted CTA's forward progress)."""
+        penalty = 0
+        num_banks = self.config.num_banks
+        if self.renaming is not None:
+            # The 4-banked renaming table serializes lookups whose
+            # architected ids share a table bank (7.1). The serialized
+            # lookup still fits inside the conservative extra renaming
+            # pipeline stage (the table access is 0.22 ns), so conflicts
+            # are counted for analysis but add no dependency latency.
+            threshold = self.renaming.threshold
+            lookups = {
+                reg for reg in inst.srcs if reg >= threshold
+            }
+            if inst.dst is not None and inst.dst >= threshold:
+                lookups.add(inst.dst)
+            if len(lookups) > 1:
+                table_banks = {reg % 4 for reg in lookups}
+                extra = len(lookups) - len(table_banks)
+                if extra:
+                    self.stats.renaming_conflict_cycles += extra
+            if inst.dst is not None:
+                if (
+                    forbid_alloc
+                    and inst.dst >= self.renaming.threshold
+                    and not self.renaming.is_mapped(warp.slot, inst.dst)
+                ):
+                    return _ALLOC_FORBIDDEN
+                result = self.renaming.write(warp.slot, inst.dst, now)
+                if result is None:
+                    return _ALLOC_FAIL
+                dst_phys, wake = result
+                penalty += wake
+                self.stats.stall_wakeup_cycles += wake
+                self.regfile.write(dst_phys)
+            banks: list[int] = []
+            for reg in dict.fromkeys(inst.srcs):
+                phys = self.renaming.read(warp.slot, reg, now)
+                if phys is not None:
+                    self.regfile.read(phys)
+                    banks.append(self.regfile.bank_of(phys))
+            penalty += self._conflict_penalty(banks)
+        else:
+            if inst.dst is not None:
+                if self.rfc is not None:
+                    evicted = self.rfc.write(warp.slot, inst.dst)
+                    if evicted is not None:
+                        self._mrf_writebacks(warp, [evicted])
+                else:
+                    self.stats.rf_writes += 1
+                    self.stats.rf_bank_accesses[
+                        bank_of(inst.dst, warp.slot, num_banks)
+                    ] += 1
+            banks = []
+            for reg in dict.fromkeys(inst.srcs):
+                if self.rfc is not None and self.rfc.read(warp.slot, reg):
+                    continue  # RFC hit: no main-register-file access
+                bank = bank_of(reg, warp.slot, num_banks)
+                self.stats.rf_reads += 1
+                self.stats.rf_bank_accesses[bank] += 1
+                banks.append(bank)
+            penalty += self._conflict_penalty(banks)
+        return penalty
+
+    def _mrf_writebacks(self, warp: Warp, regs) -> None:
+        """Charge RFC dirty-line writebacks to the main register file."""
+        for arch in regs:
+            self.stats.rf_writes += 1
+            self.stats.rf_bank_accesses[
+                bank_of(arch, warp.slot, self.config.num_banks)
+            ] += 1
+
+    def _conflict_penalty(self, banks: list[int]) -> int:
+        if len(banks) <= 1:
+            return 0
+        extra = len(banks) - len(set(banks))
+        if extra:
+            self.stats.stall_bank_conflict_cycles += extra
+        return extra
+
+    def _retire(self, warp: Warp, inst, taken: int | None,
+                penalty: int, now: int) -> None:
+        info = inst.info
+        config = self.config
+        sched = self.schedulers[warp.slot % len(self.schedulers)]
+
+        if info.is_branch:
+            self.stats.branches += 1
+            fallthrough = warp.pc + 1
+            if inst.guard is None:
+                warp.stack.pc = inst.target_pc
+            else:
+                if inst.reconv_pc is None:
+                    raise SimulationError(
+                        f"conditional branch at pc {inst.pc} has no "
+                        "reconvergence point (kernel not compiled?)"
+                    )
+                diverged = warp.stack.branch(
+                    taken, inst.target_pc, fallthrough, inst.reconv_pc
+                )
+                if diverged:
+                    self.stats.divergent_branches += 1
+            if self.renaming is not None and warp.pc != fallthrough:
+                # The extra renaming pipeline stage (7.1) deepens the
+                # front end, so a taken-branch redirect costs one more
+                # bubble cycle than the baseline.
+                warp.stalled_until = now + 1 + config.renaming_extra_cycles
+            return
+
+        if info.is_exit:
+            exit_mask = array_to_mask(effective_mask(warp, inst))
+            done = warp.stack.exit_lanes(exit_mask)
+            if done:
+                self._finish_warp(warp, now)
+            elif warp.pc == inst.pc:
+                warp.pc += 1
+            return
+
+        if info.is_barrier:
+            self.stats.barriers += 1
+            warp.pc += 1
+            self._arrive_barrier(warp, sched)
+            return
+
+        warp.pc += 1
+
+        if info.is_memory and inst.space is MemSpace.GLOBAL:
+            self.stats.memory_instructions += 1
+            complete = self.mem_unit.request(now) + penalty
+            if not info.is_store:
+                warp.scoreboard_mark(inst)
+                warp.outstanding_mem += 1
+                self._push_event(complete, "mem_wb", (warp, inst))
+                sched.demote(warp)
+                if self.rfc is not None:
+                    # The RFC only backs active warps: demotion flushes
+                    # the warp's dirty lines to the MRF ([20]).
+                    self._mrf_writebacks(
+                        warp, self.rfc.flush_warp(warp.slot)
+                    )
+            return
+
+        if info.is_memory:  # shared memory
+            self.stats.memory_instructions += 1
+            if not info.is_store:
+                warp.scoreboard_mark(inst)
+                self._push_event(
+                    now + config.shared_mem_latency + penalty,
+                    "wb", (warp, inst),
+                )
+            return
+
+        latency = (
+            config.sfu_latency if info.unit is Unit.SFU
+            else config.alu_latency
+        )
+        if inst.dst is not None or inst.pdst is not None:
+            warp.scoreboard_mark(inst)
+            self._push_event(now + latency + penalty, "wb", (warp, inst))
+
+    def _arrive_barrier(self, warp: Warp, sched: WarpScheduler) -> None:
+        cta = warp.cta
+        warp.status = WarpStatus.AT_BARRIER
+        sched.demote(warp)
+        cta.barrier_arrived += 1
+        if cta.barrier_arrived >= cta.live_warps:
+            cta.barrier_arrived = 0
+            for peer in cta.warps:
+                if peer.status is WarpStatus.AT_BARRIER:
+                    peer.status = WarpStatus.ACTIVE
+
+    # ---------------------------------------------------------------------- tick
+    def tick(self) -> None:
+        now = self.cycle
+        self._process_events(now)
+        self._launch_ctas(now)
+        if self._spilled_pending():
+            self._fill_spilled(now)
+        self._record_samples_until(now)
+
+        restricted = self._throttle()
+        issued_any = False
+        alloc_blocked = False
+        for sched in self.schedulers:
+            sched.refill(prefer_cta=restricted)
+            self.stats.issue_slots += 1
+            issued = False
+            for warp in list(sched.candidates()):
+                if warp.status is not WarpStatus.ACTIVE:
+                    continue
+                if now < warp.stalled_until:
+                    continue
+                forbid = (
+                    restricted is not None and warp.cta.uid != restricted
+                )
+                outcome = self._try_issue(warp, now, forbid_alloc=forbid)
+                if outcome is _Issue.ISSUED:
+                    sched.issued(warp)
+                    self.stats.issued += 1
+                    issued = True
+                    break
+                if outcome is _Issue.SCOREBOARD:
+                    self.stats.stall_scoreboard += 1
+                elif outcome is _Issue.FORBIDDEN:
+                    self.stats.stall_throttled += 1
+                else:
+                    self.stats.stall_no_free_register += 1
+                    alloc_blocked = True
+            if not issued:
+                self.stats.stall_no_ready_warp += 1
+            issued_any = issued_any or issued
+
+        self.cycle = now + 1
+        if issued_any:
+            return
+        if alloc_blocked and self._alloc_fail_streak >= SPILL_TRIGGER_CYCLES:
+            if self._maybe_spill(now):
+                return
+        self._idle_skip(alloc_blocked)
+
+    def _spilled_pending(self) -> bool:
+        return any(
+            warp.status is WarpStatus.SPILLED
+            for cta in self.resident
+            for warp in cta.warps
+        )
+
+    def _idle_skip(self, alloc_blocked: bool) -> None:
+        """Fast-forward to the next wake-up when nothing can issue."""
+        targets = []
+        if self._events:
+            targets.append(self._events[0][0])
+        for cta in self.resident:
+            for warp in cta.warps:
+                if (
+                    warp.status is WarpStatus.ACTIVE
+                    and warp.stalled_until >= self.cycle
+                ):
+                    targets.append(warp.stalled_until)
+        if targets:
+            target = min(targets)
+            if alloc_blocked:
+                # Keep accounting stall cycles while blocked on registers
+                # so the spill trigger can engage.
+                skipped = max(0, target - self.cycle)
+                self._alloc_fail_streak += skipped
+            if target > self.cycle:
+                self._record_samples_until(target - 1)
+                self.cycle = target
+            return
+        if alloc_blocked:
+            # No event will ever free registers: force the corner case.
+            self._alloc_fail_streak = SPILL_TRIGGER_CYCLES
+            if self._maybe_spill(self.cycle):
+                return
+        if not self.done():
+            raise DeadlockError(
+                f"SM {self.sm_id} deadlocked at cycle {self.cycle}: "
+                f"{len(self.resident)} CTAs resident, "
+                f"{len(self.cta_queue)} queued, free registers="
+                f"{self.regfile.free_count}"
+            )
+
+    # ----------------------------------------------------------------------- run
+    def done(self) -> bool:
+        return not self.resident and not self.cta_queue
+
+    def run(self, max_cycles: int = 50_000_000) -> SimStats:
+        while not self.done():
+            if self.cycle > max_cycles:
+                raise SimulationError(
+                    f"simulation exceeded {max_cycles} cycles"
+                )
+            self.tick()
+        self._process_events(self.cycle)
+        self.regfile.finalize(self.cycle)
+        self.stats.cycles = self.cycle
+        self.stats.flag_cache_hits = (
+            self.flag_cache.hits if self.flag_cache else 0
+        )
+        self.stats.flag_cache_misses = (
+            self.flag_cache.misses if self.flag_cache else 0
+        )
+        return self.stats

@@ -1,0 +1,143 @@
+"""Functional (value-level) execution of one instruction for one warp.
+
+Values are 64-bit integer lanes; floating-point opcodes are modelled on
+integer lanes (only latency class matters to the evaluation, but the
+data flow must be deterministic so loop trip counts and divergence
+patterns are reproducible). Writes are merged under the effective lane
+mask (active mask AND guard), which is what makes divergent execution
+correct.
+
+Branch instructions return the taken-lane mask; control (SIMT stack,
+barriers, exit) is applied by the core.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import CmpOp, MemSpace, Opcode, Special
+from repro.sim.warp import Warp
+
+#: Addresses are clipped to 31 bits to keep the sparse memories sane.
+ADDR_MASK = (1 << 31) - 1
+
+_CMP = {
+    CmpOp.LT: np.less,
+    CmpOp.LE: np.less_equal,
+    CmpOp.GT: np.greater,
+    CmpOp.GE: np.greater_equal,
+    CmpOp.EQ: np.equal,
+    CmpOp.NE: np.not_equal,
+}
+
+
+def effective_mask(warp: Warp, inst: Instruction) -> np.ndarray:
+    """Active-lane boolean array after applying the guard predicate."""
+    mask = warp.mask_array()
+    if inst.guard is not None:
+        pred = warp.pred(inst.guard.preg)
+        mask = mask & (~pred if inst.guard.negated else pred)
+    return mask
+
+
+def array_to_mask(lanes: np.ndarray) -> int:
+    """Boolean lane array -> integer bitmask."""
+    mask = 0
+    for lane in np.nonzero(lanes)[0]:
+        mask |= 1 << int(lane)
+    return mask
+
+
+def special_value(warp: Warp, special: Special) -> np.ndarray:
+    cta = warp.cta
+    if special is Special.TID:
+        return warp.tids
+    if special is Special.CTAID:
+        return np.full(warp.warp_size, cta.ctaid, dtype=np.int64)
+    if special is Special.NTID:
+        return np.full(warp.warp_size, cta.num_threads, dtype=np.int64)
+    if special is Special.NCTAID:
+        return np.full(warp.warp_size, cta.grid_ctas, dtype=np.int64)
+    if special is Special.LANEID:
+        return warp.lane_ids
+    if special is Special.WARPID:
+        return np.full(warp.warp_size, warp.warp_in_cta, dtype=np.int64)
+    raise SimulationError(f"unknown special register {special}")
+
+
+def execute(inst: Instruction, warp: Warp, gmem) -> int | None:
+    """Execute ``inst`` on ``warp``; returns taken mask for branches."""
+    opcode = inst.opcode
+    mask = effective_mask(warp, inst)
+
+    if opcode is Opcode.BRA:
+        if inst.guard is None:
+            return warp.active_mask
+        return array_to_mask(mask)
+    if opcode in (Opcode.EXIT, Opcode.BAR, Opcode.NOP,
+                  Opcode.PIR, Opcode.PBR):
+        return None
+
+    srcs = [warp.reg(reg) for reg in inst.srcs]
+
+    if opcode is Opcode.SETP:
+        rhs = (
+            np.int64(inst.imm) if len(srcs) == 1 else srcs[1]
+        )
+        warp.write_pred(inst.pdst, _CMP[inst.cmp](srcs[0], rhs), mask)
+        return None
+
+    if inst.info.is_memory:
+        addrs = (srcs[0] + inst.offset) & ADDR_MASK
+        memory = gmem if inst.space is MemSpace.GLOBAL else warp.cta.shared
+        if inst.info.is_store:
+            memory.store(addrs, srcs[1], mask)
+        else:
+            warp.write_reg(inst.dst, memory.load(addrs, mask), mask)
+        return None
+
+    value = _alu(opcode, inst, srcs, warp)
+    warp.write_reg(inst.dst, value, mask)
+    return None
+
+
+def _alu(opcode: Opcode, inst: Instruction, srcs, warp: Warp) -> np.ndarray:
+    if opcode is Opcode.MOV:
+        return srcs[0]
+    if opcode is Opcode.MOVI:
+        return np.full(warp.warp_size, inst.imm, dtype=np.int64)
+    if opcode in (Opcode.IADD, Opcode.FADD):
+        return srcs[0] + srcs[1]
+    if opcode is Opcode.IADDI:
+        return srcs[0] + inst.imm
+    if opcode is Opcode.ISUB:
+        return srcs[0] - srcs[1]
+    if opcode in (Opcode.IMUL, Opcode.FMUL):
+        return srcs[0] * srcs[1]
+    if opcode in (Opcode.IMAD, Opcode.FFMA):
+        return srcs[0] * srcs[1] + srcs[2]
+    if opcode is Opcode.AND:
+        return srcs[0] & srcs[1]
+    if opcode is Opcode.OR:
+        return srcs[0] | srcs[1]
+    if opcode is Opcode.XOR:
+        return srcs[0] ^ srcs[1]
+    if opcode is Opcode.SHL:
+        return srcs[0] << (inst.imm & 63)
+    if opcode is Opcode.SHR:
+        return srcs[0] >> (inst.imm & 63)
+    if opcode is Opcode.IMIN:
+        return np.minimum(srcs[0], srcs[1])
+    if opcode is Opcode.IMAX:
+        return np.maximum(srcs[0], srcs[1])
+    if opcode is Opcode.SEL:
+        return np.where(srcs[0] != 0, srcs[1], srcs[2])
+    if opcode is Opcode.RCP:
+        return (1 << 16) // (np.abs(srcs[0]) + 1)
+    if opcode is Opcode.SQRT:
+        return np.sqrt(np.abs(srcs[0]).astype(np.float64)).astype(np.int64)
+    if opcode is Opcode.S2R:
+        return special_value(warp, inst.special)
+    raise SimulationError(f"no semantics for opcode {opcode}")

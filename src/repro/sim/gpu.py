@@ -1,0 +1,154 @@
+"""Whole-GPU simulation driver.
+
+The paper simulates 16 SMs; every SM runs the same kernel on its share
+of the grid, so per-SM behaviour is statistically identical. For speed
+the driver simulates ``sim_sms`` SMs (default one) and gives each the
+CTAs a 16-SM GPU would assign it round-robin (ctaid = sm, sm+16, ...).
+``max_ctas_per_sm_sim`` optionally caps the simulated waves per SM —
+experiments use a few waves of CTAs, which is enough for steady-state
+behaviour while keeping pure-Python simulation fast.
+
+:func:`simulate` is the main entry point used by examples, tests and
+the benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch import GPUConfig
+from repro.errors import SimulationError
+from repro.isa.kernel import Kernel
+from repro.launch import LaunchConfig
+from repro.sim.core import SMCore
+from repro.sim.memory import GlobalMemory
+from repro.sim.stats import SimStats
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one kernel launch simulation."""
+
+    stats: SimStats
+    config: GPUConfig
+    launch: LaunchConfig
+    mode: str
+    ctas_simulated: int
+
+    @property
+    def cycles(self) -> int:
+        return self.stats.cycles
+
+    @property
+    def instructions(self) -> int:
+        return self.stats.instructions
+
+
+class GPU:
+    """A GPU executing one kernel launch."""
+
+    def __init__(
+        self,
+        config: GPUConfig,
+        kernel: Kernel,
+        launch: LaunchConfig,
+        mode: str = "baseline",
+        threshold: int = 0,
+        sim_sms: int = 1,
+        max_ctas_per_sm_sim: int | None = None,
+        sample_interval: int = 0,
+        trace_warp_slots: tuple[int, ...] = (),
+        spill_enabled: bool = True,
+    ):
+        if sim_sms < 1 or sim_sms > config.num_sms:
+            raise SimulationError("sim_sms must be in [1, num_sms]")
+        self.config = config
+        self.kernel = kernel
+        self.launch = launch
+        self.mode = mode
+        self.gmem = GlobalMemory()
+        self.cores: list[SMCore] = []
+        self.ctas_simulated = 0
+        per_sm = math.ceil(launch.grid_ctas / config.num_sms)
+        if max_ctas_per_sm_sim is not None:
+            per_sm = min(per_sm, max_ctas_per_sm_sim)
+        for sm in range(sim_sms):
+            core = SMCore(
+                config,
+                kernel,
+                launch,
+                mode=mode,
+                threshold=threshold,
+                gmem=self.gmem,
+                sample_interval=sample_interval if sm == 0 else 0,
+                trace_warp_slots=trace_warp_slots if sm == 0 else (),
+                spill_enabled=spill_enabled,
+                sm_id=sm,
+            )
+            ctaids = [
+                sm + wave * config.num_sms
+                for wave in range(per_sm)
+                if sm + wave * config.num_sms < launch.grid_ctas
+            ]
+            core.cta_queue = ctaids
+            self.ctas_simulated += len(ctaids)
+            self.cores.append(core)
+
+    def run(self, max_cycles: int = 50_000_000) -> SimulationResult:
+        merged = SimStats()
+        for core in self.cores:
+            stats = core.run(max_cycles=max_cycles)
+            if len(self.cores) == 1:
+                merged = stats
+            else:
+                merged.merge(stats)
+                merged.live_samples = (
+                    merged.live_samples or stats.live_samples
+                )
+                merged.lifetime_events = (
+                    merged.lifetime_events or stats.lifetime_events
+                )
+        return SimulationResult(
+            stats=merged,
+            config=self.config,
+            launch=self.launch,
+            mode=self.mode,
+            ctas_simulated=self.ctas_simulated,
+        )
+
+
+def simulate(
+    kernel: Kernel,
+    launch: LaunchConfig,
+    config: GPUConfig | None = None,
+    mode: str = "baseline",
+    threshold: int = 0,
+    sim_sms: int = 1,
+    max_ctas_per_sm_sim: int | None = None,
+    sample_interval: int = 0,
+    trace_warp_slots: tuple[int, ...] = (),
+    spill_enabled: bool = True,
+    max_cycles: int = 50_000_000,
+) -> SimulationResult:
+    """Simulate one kernel launch and return its statistics.
+
+    ``mode`` selects register management: ``baseline`` (conventional,
+    pin-per-CTA), ``flags`` (the paper's virtualization; the kernel
+    should be compiled with release metadata and ``threshold`` set to
+    the compile-time exemption count), or ``redefine`` (hardware-only
+    renaming [46]).
+    """
+    gpu = GPU(
+        config or GPUConfig.baseline(),
+        kernel,
+        launch,
+        mode=mode,
+        threshold=threshold,
+        sim_sms=sim_sms,
+        max_ctas_per_sm_sim=max_ctas_per_sm_sim,
+        sample_interval=sample_interval,
+        trace_warp_slots=trace_warp_slots,
+        spill_enabled=spill_enabled,
+    )
+    return gpu.run(max_cycles=max_cycles)

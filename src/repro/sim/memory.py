@@ -1,0 +1,99 @@
+"""Functional and timing memory models.
+
+Functional state lives in :class:`GlobalMemory` / :class:`SharedMemory`:
+sparse dict-backed word storage whose unwritten locations return a
+deterministic hash of the address, so synthetic workloads get stable
+"input data" without materializing arrays. Spilled registers round-trip
+through real stores and loads, which the spill baseline depends on.
+
+Timing lives in :class:`MemoryUnit`: a fixed-latency pipe with a
+bandwidth limit of ``mem_requests_per_cycle`` — requests beyond the
+bandwidth queue up, which is what makes memory-heavy kernels (and the
+compiler-spill baseline with its fill/spill storm) slow down.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Knuth multiplicative hash constant for synthetic memory contents.
+_HASH = 2654435761
+_MASK = (1 << 31) - 1
+
+
+class GlobalMemory:
+    """Word-addressed global memory shared by every CTA."""
+
+    def __init__(self):
+        self._store: dict[int, int] = {}
+
+    def load(self, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Vector load; inactive lanes return zero."""
+        values = (addrs * _HASH) & _MASK
+        if self._store:
+            flat = addrs.tolist()
+            store = self._store
+            for lane, addr in enumerate(flat):
+                if mask[lane] and addr in store:
+                    values[lane] = store[addr]
+        return np.where(mask, values, 0)
+
+    def store(self, addrs: np.ndarray, values: np.ndarray,
+              mask: np.ndarray) -> None:
+        store = self._store
+        for lane in np.nonzero(mask)[0]:
+            store[int(addrs[lane])] = int(values[lane])
+
+    def peek(self, addr: int) -> int:
+        """Scalar read used by tests."""
+        if addr in self._store:
+            return self._store[addr]
+        return (addr * _HASH) & _MASK
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class SharedMemory(GlobalMemory):
+    """Per-CTA scratchpad; unwritten locations read as zero."""
+
+    def load(self, addrs: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        values = np.zeros_like(addrs)
+        if self._store:
+            flat = addrs.tolist()
+            store = self._store
+            for lane, addr in enumerate(flat):
+                if mask[lane] and addr in store:
+                    values[lane] = store[addr]
+        return values
+
+    def peek(self, addr: int) -> int:
+        return self._store.get(addr, 0)
+
+
+class MemoryUnit:
+    """Latency + bandwidth timing model for global memory requests.
+
+    Accepts at most ``requests_per_cycle`` new requests per cycle; an
+    over-subscribed unit pushes the service start time forward, so the
+    completion time of a request is::
+
+        max(now, last_slot + 1/bw) + latency
+    """
+
+    def __init__(self, latency: int, requests_per_cycle: int = 1):
+        self.latency = latency
+        self.interval = 1.0 / max(1, requests_per_cycle)
+        self._next_slot = 0.0
+        self.requests = 0
+
+    def request(self, now: int) -> int:
+        """Schedule one request; returns its completion cycle."""
+        start = max(float(now), self._next_slot)
+        self._next_slot = start + self.interval
+        self.requests += 1
+        return int(start + self.latency)
+
+    @property
+    def busy_until(self) -> float:
+        return self._next_slot

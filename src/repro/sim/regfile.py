@@ -1,0 +1,219 @@
+"""The physical register file: banks, sub-arrays, gating, accounting.
+
+Physical registers are warp-granularity (128 B: 32 lanes x 4 B) and laid
+out bank-major: register ``p`` lives in bank ``p // registers_per_bank``
+at row ``p % registers_per_bank``; rows group into sub-arrays of
+``registers_per_subarray`` — the power-gating granularity (Fig. 8).
+
+Allocation follows the paper's gating-friendly policy: within the
+requested bank, the lowest-indexed powered-on sub-array with a free row
+is used first, so live registers consolidate into few sub-arrays and
+empty sub-arrays can stay dark. Allocating into a dark sub-array wakes
+it, charging the configured wake-up latency to the allocating
+instruction (Fig. 11b).
+
+The file also keeps all the accounting the power model consumes:
+per-bank access counts, the time-integral of powered-on sub-arrays,
+wake-up event counts, the high-water mark of concurrently live
+registers, and the set of registers ever touched (Fig. 10).
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.arch import GPUConfig
+from repro.errors import RegisterFileError
+from repro.sim.stats import SimStats
+
+
+class PhysicalRegisterFile:
+    """Banked, sub-array-gated physical register file of one SM."""
+
+    def __init__(self, config: GPUConfig, stats: SimStats):
+        self.config = config
+        self.stats = stats
+        self.num_banks = config.num_banks
+        self.regs_per_bank = config.registers_per_bank
+        self.regs_per_subarray = config.registers_per_subarray
+        self.subs_per_bank = config.physical_subarrays_per_bank
+        self.total = config.total_physical_registers
+        self.gating = config.gating_enabled
+
+        # Free rows per (bank, subarray), as min-heaps of row indices.
+        self._free: list[list[list[int]]] = []
+        for bank in range(self.num_banks):
+            bank_subs = []
+            for sub in range(self.subs_per_bank):
+                start = sub * self.regs_per_subarray
+                end = min((sub + 1) * self.regs_per_subarray,
+                          self.regs_per_bank)
+                bank_subs.append(list(range(start, end)))
+            self._free.append(bank_subs)
+        self._occupied_in_sub = [
+            [0] * self.subs_per_bank for _ in range(self.num_banks)
+        ]
+        self._allocated: set[int] = set()
+        self._touched: set[int] = set()
+
+        # Gating state: a sub-array is powered when occupied or when
+        # gating is disabled (then everything is always on).
+        self._powered = [
+            [not self.gating] * self.subs_per_bank
+            for _ in range(self.num_banks)
+        ]
+        self._powered_count = (
+            0 if self.gating else self.num_banks * self.subs_per_bank
+        )
+        self._last_account_cycle = 0
+        self._scatter = config.allocation_policy == "scatter"
+        self._next_sub = [0] * self.num_banks
+
+        stats.rf_bank_accesses = [0] * self.num_banks
+        stats.total_subarrays = self.num_banks * self.subs_per_bank
+
+    # --- time accounting -----------------------------------------------------
+    def account(self, now: int) -> None:
+        """Integrate powered-subarray time up to ``now``."""
+        if now > self._last_account_cycle:
+            delta = now - self._last_account_cycle
+            self.stats.subarray_active_cycles += delta * self._powered_count
+            self._last_account_cycle = now
+
+    def _power_on(self, bank: int, sub: int) -> int:
+        """Power a sub-array; returns the wake-up penalty in cycles."""
+        if self._powered[bank][sub]:
+            return 0
+        self._powered[bank][sub] = True
+        self._powered_count += 1
+        self.stats.subarray_wakeups += 1
+        return self.config.wakeup_latency_cycles
+
+    def _maybe_power_off(self, bank: int, sub: int) -> None:
+        if (
+            self.gating
+            and self._powered[bank][sub]
+            and self._occupied_in_sub[bank][sub] == 0
+        ):
+            self._powered[bank][sub] = False
+            self._powered_count -= 1
+
+    # --- allocation -----------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return self.total - len(self._allocated)
+
+    def free_count_in_bank(self, bank: int) -> int:
+        return sum(len(rows) for rows in self._free[bank])
+
+    @property
+    def live_count(self) -> int:
+        return len(self._allocated)
+
+    def allocate(self, bank: int, now: int) -> tuple[int, int] | None:
+        """Allocate a register, preferring ``bank`` (compiler bank).
+
+        Returns ``(physical_id, wakeup_penalty_cycles)`` or ``None``
+        when the whole file is full. Falling back to another bank when
+        the preferred one is exhausted is counted in
+        ``stats.bank_fallbacks`` (a deviation from the paper's strict
+        same-bank policy, needed to rule out single-bank livelock; see
+        DESIGN.md).
+        """
+        order = [bank] + [
+            b for b in sorted(
+                range(self.num_banks),
+                key=lambda b: -self.free_count_in_bank(b),
+            )
+            if b != bank
+        ]
+        for which, candidate in enumerate(order):
+            result = self._allocate_in_bank(candidate, now)
+            if result is not None:
+                if which:
+                    self.stats.bank_fallbacks += 1
+                return result
+        return None
+
+    def _allocate_in_bank(self, bank: int, now: int) -> tuple[int, int] | None:
+        free_subs = self._free[bank]
+        choice = None
+        if self._scatter:
+            # Ablation policy: spread allocations round-robin over
+            # sub-arrays, defeating gating consolidation.
+            for offset in range(self.subs_per_bank):
+                sub = (self._next_sub[bank] + offset) % self.subs_per_bank
+                if free_subs[sub]:
+                    choice = sub
+                    self._next_sub[bank] = (sub + 1) % self.subs_per_bank
+                    break
+        else:
+            # The paper's policy (8.2): prefer powered-on sub-arrays
+            # (lowest index first), then wake the lowest dark one.
+            for sub in range(self.subs_per_bank):
+                if free_subs[sub] and self._powered[bank][sub]:
+                    choice = sub
+                    break
+            if choice is None:
+                for sub in range(self.subs_per_bank):
+                    if free_subs[sub]:
+                        choice = sub
+                        break
+        if choice is None:
+            return None
+        self.account(now)
+        penalty = self._power_on(bank, choice)
+        row = heapq.heappop(free_subs[choice])
+        self._occupied_in_sub[bank][choice] += 1
+        phys = bank * self.regs_per_bank + row
+        self._allocated.add(phys)
+        self._touched.add(phys)
+        self.stats.registers_allocated_events += 1
+        if len(self._allocated) > self.stats.max_live_registers:
+            self.stats.max_live_registers = len(self._allocated)
+        self.stats.physical_registers_touched = len(self._touched)
+        return phys, penalty
+
+    def free(self, phys: int, now: int) -> None:
+        if phys not in self._allocated:
+            raise RegisterFileError(f"double free of physical register {phys}")
+        self.account(now)
+        self._allocated.discard(phys)
+        bank, row = divmod(phys, self.regs_per_bank)
+        sub = row // self.regs_per_subarray
+        heapq.heappush(self._free[bank][sub], row)
+        self._occupied_in_sub[bank][sub] -= 1
+        self.stats.registers_released_events += 1
+        self._maybe_power_off(bank, sub)
+
+    # --- access accounting ------------------------------------------------------
+    def bank_of(self, phys: int) -> int:
+        return phys // self.regs_per_bank
+
+    def read(self, phys: int) -> None:
+        self.stats.rf_reads += 1
+        self.stats.rf_bank_accesses[phys // self.regs_per_bank] += 1
+
+    def write(self, phys: int) -> None:
+        self.stats.rf_writes += 1
+        self.stats.rf_bank_accesses[phys // self.regs_per_bank] += 1
+
+    def occupancy_map(self) -> list[list[tuple[int, bool]]]:
+        """Per-bank, per-sub-array (occupied registers, powered) pairs.
+
+        This is the Fig. 8 picture: with renaming + consolidation the
+        live registers pack into the low sub-arrays of each bank and
+        the rest can be dark.
+        """
+        return [
+            [
+                (self._occupied_in_sub[bank][sub],
+                 self._powered[bank][sub])
+                for sub in range(self.subs_per_bank)
+            ]
+            for bank in range(self.num_banks)
+        ]
+
+    def finalize(self, now: int) -> None:
+        """Close the occupancy integral at simulation end."""
+        self.account(now)

@@ -1,0 +1,42 @@
+"""The release flag cache (Section 7.2).
+
+A small direct-mapped cache, indexed by the PC of a ``pir`` metadata
+instruction and shared by every warp on the SM. Because warps of a CTA
+execute the same code closely in time, the first warp to fetch a given
+``pir`` installs its 54-bit flag word and later warps skip the
+instruction-cache fetch and decode entirely.
+
+A capacity of zero disables the cache (the Fig. 13 ``Dynamic-0``
+configuration, where every warp decodes every ``pir``).
+"""
+
+from __future__ import annotations
+
+
+class ReleaseFlagCache:
+    """Direct-mapped PC-indexed cache of pir flag words."""
+
+    def __init__(self, entries: int):
+        self.entries = entries
+        self._tags: list[int | None] = [None] * entries
+        self.hits = 0
+        self.misses = 0
+
+    def probe(self, pc: int) -> bool:
+        """Look up ``pc``; returns True on hit. Does not install."""
+        if self.entries == 0:
+            self.misses += 1
+            return False
+        if self._tags[pc % self.entries] == pc:
+            self.hits += 1
+            return True
+        self.misses += 1
+        return False
+
+    def install(self, pc: int) -> None:
+        """Install the flag word fetched for ``pc`` (replaces the line)."""
+        if self.entries:
+            self._tags[pc % self.entries] = pc
+
+    def flush(self) -> None:
+        self._tags = [None] * self.entries

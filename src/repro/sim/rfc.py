@@ -1,0 +1,95 @@
+"""A register file cache (RFC) baseline, after Gebhart et al. [20].
+
+The paper's related work contrasts virtualization with the RFC /
+multi-level register file approach: a small per-warp cache in front of
+the main register file (MRF) captures the short-lived values so most
+operand traffic never touches the big SRAM, cutting *dynamic* energy —
+but the MRF keeps its full size, so unlike GPU-shrink it saves neither
+capacity nor (without further mechanisms) static power.
+
+Model (following the MICRO'11 design at the level our evaluation
+needs):
+
+* per-warp, ``entries`` registers, LRU replacement;
+* writes allocate in the RFC and mark the line dirty; evicting a dirty
+  line writes it back to the MRF;
+* reads hit (RFC access) or miss (MRF access; read misses do not
+  allocate);
+* when the two-level scheduler demotes a warp on a long-latency
+  operation, its RFC lines are flushed (dirty ones written back) —
+  the RFC only backs the active warps.
+
+Accounting feeds :class:`repro.sim.stats.SimStats`; the energy model
+prices RFC accesses with the same CACTI-style scaling used everywhere
+else.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.sim.stats import SimStats
+
+
+class RegisterFileCache:
+    """Per-warp LRU cache of architected registers."""
+
+    def __init__(self, entries_per_warp: int, stats: SimStats):
+        self.entries = entries_per_warp
+        self.stats = stats
+        #: warp slot -> OrderedDict[arch reg -> dirty flag] (LRU order).
+        self._lines: dict[int, OrderedDict[int, bool]] = {}
+
+    # --- warp lifecycle -----------------------------------------------------
+    def attach_warp(self, warp_slot: int) -> None:
+        self._lines[warp_slot] = OrderedDict()
+
+    def detach_warp(self, warp_slot: int) -> list[int]:
+        """Remove a warp; returns arch regs of dirty lines written back."""
+        return self._flush(self._lines.pop(warp_slot, OrderedDict()))
+
+    def flush_warp(self, warp_slot: int) -> list[int]:
+        """Demotion flush (two-level scheduler moves the warp out of
+        the active set). Returns arch regs written back to the MRF."""
+        lines = self._lines.get(warp_slot)
+        if not lines:
+            return []
+        writebacks = self._flush(lines)
+        lines.clear()
+        self.stats.rfc_flushes += 1
+        return writebacks
+
+    def _flush(self, lines: OrderedDict) -> list[int]:
+        writebacks = [arch for arch, dirty in lines.items() if dirty]
+        self.stats.rfc_writebacks += len(writebacks)
+        return writebacks
+
+    # --- accesses ------------------------------------------------------------
+    def read(self, warp_slot: int, arch: int) -> bool:
+        """Returns True on an RFC hit (no MRF read needed)."""
+        lines = self._lines[warp_slot]
+        if arch in lines:
+            lines.move_to_end(arch)
+            self.stats.rfc_reads += 1
+            return True
+        return False
+
+    def write(self, warp_slot: int, arch: int) -> int | None:
+        """Write-allocate ``arch``; returns the arch register of an
+        evicted dirty line (one MRF write), or ``None``."""
+        lines = self._lines[warp_slot]
+        evicted = None
+        if arch in lines:
+            lines.move_to_end(arch)
+        else:
+            if len(lines) >= self.entries:
+                victim, dirty = lines.popitem(last=False)
+                if dirty:
+                    evicted = victim
+                    self.stats.rfc_writebacks += 1
+        lines[arch] = True
+        self.stats.rfc_writes += 1
+        return evicted
+
+    def resident(self, warp_slot: int) -> int:
+        return len(self._lines.get(warp_slot, ()))

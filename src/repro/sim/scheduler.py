@@ -1,0 +1,151 @@
+"""Two-level warp scheduler (Section 5 / the Gebhart et al. scheme).
+
+Each of the SM's two issue schedulers owns the warps whose slot index
+matches its id modulo the scheduler count. Warps split into a small
+*ready queue* (the paper configures six ready warps per SM) scheduled
+round-robin, and a *pending queue*. A warp is demoted to pending when
+it issues a long-latency operation (global memory) or parks at a
+barrier / spill, and is promoted back once it has no outstanding memory
+and a ready slot is free.
+
+The scheduling time skew this creates between warps is exactly what
+register virtualization exploits: one warp's dead register becomes
+another (later-scheduled) warp's fresh allocation (Fig. 2b).
+"""
+
+from __future__ import annotations
+
+from repro.sim.warp import Warp, WarpStatus
+
+
+class WarpScheduler:
+    """One of the SM's issue schedulers.
+
+    ``policy`` selects the selection discipline:
+
+    * ``two_level`` — the default described above;
+    * ``loose_rr`` — a single flat round-robin over every warp (no
+      demotion, so warps stay tightly interleaved: minimal skew);
+    * ``gto`` — greedy-then-oldest: keep issuing the same warp until it
+      stalls, then fall back to the oldest (lowest slot) ready warp —
+      the maximal-skew end of the spectrum.
+    """
+
+    def __init__(self, sid: int, ready_size: int, policy: str = "two_level"):
+        self.sid = sid
+        self.policy = policy
+        if policy != "two_level":
+            ready_size = 10 ** 9  # flat queue: everything is "ready"
+        self.ready_size = max(1, ready_size)
+        self.ready: list[Warp] = []
+        self.pending: list[Warp] = []
+        self._rr = 0
+        self._greedy: Warp | None = None
+
+    # --- membership ---------------------------------------------------------
+    def add(self, warp: Warp) -> None:
+        if len(self.ready) < self.ready_size:
+            self.ready.append(warp)
+        else:
+            self.pending.append(warp)
+
+    def remove(self, warp: Warp) -> None:
+        if warp in self.ready:
+            self.ready.remove(warp)
+        elif warp in self.pending:
+            self.pending.remove(warp)
+        if self._greedy is warp:
+            self._greedy = None
+        self._rr = 0
+
+    def demote(self, warp: Warp) -> None:
+        """Move a warp from the ready queue to the pending queue.
+
+        Only the two-level policy demotes; the flat policies keep every
+        warp selectable (a stalled warp simply fails its issue checks).
+        """
+        if self.policy != "two_level":
+            if self._greedy is warp:
+                self._greedy = None
+            return
+        if warp in self.ready:
+            self.ready.remove(warp)
+            self.pending.append(warp)
+            self._rr = 0
+
+    def refill(self, prefer_cta: int | None = None) -> None:
+        """Promote schedulable pending warps into free ready slots.
+
+        When GPU-shrink throttling restricts issue to one CTA
+        (``prefer_cta``), the ready queue must contain at least one of
+        that CTA's warps or the SM would stall behind throttled warps:
+        in that case a non-restricted ready warp is demoted to make
+        room (Section 8.1's "allows only warps from that CTA").
+        """
+        still_pending: list[Warp] = []
+        for warp in self.pending:
+            promotable = (
+                warp.status is WarpStatus.ACTIVE
+                and warp.outstanding_mem == 0
+                and len(self.ready) < self.ready_size
+            )
+            if promotable:
+                self.ready.append(warp)
+            else:
+                still_pending.append(warp)
+        self.pending = still_pending
+        if prefer_cta is None:
+            return
+        if any(
+            warp.cta.uid == prefer_cta and warp.status is WarpStatus.ACTIVE
+            for warp in self.ready
+        ):
+            return
+        candidate = next(
+            (
+                warp for warp in self.pending
+                if warp.cta.uid == prefer_cta
+                and warp.status is WarpStatus.ACTIVE
+                and warp.outstanding_mem == 0
+            ),
+            None,
+        )
+        if candidate is None:
+            return
+        if len(self.ready) >= self.ready_size:
+            victim = next(
+                (w for w in self.ready if w.cta.uid != prefer_cta), None
+            )
+            if victim is None:
+                return
+            self.ready.remove(victim)
+            self.pending.append(victim)
+            self._rr = 0
+        self.pending.remove(candidate)
+        self.ready.append(candidate)
+
+    # --- selection -------------------------------------------------------------
+    def candidates(self):
+        """Selectable warps in policy priority order."""
+        if self.policy == "gto":
+            if self._greedy is not None and self._greedy in self.ready:
+                yield self._greedy
+            for warp in sorted(self.ready, key=lambda w: w.slot):
+                if warp is not self._greedy:
+                    yield warp
+            return
+        count = len(self.ready)
+        for offset in range(count):
+            yield self.ready[(self._rr + offset) % count]
+
+    def issued(self, warp: Warp) -> None:
+        """Record an issue: advances RR pointer / pins the greedy warp."""
+        if self.policy == "gto":
+            self._greedy = warp
+            return
+        if warp in self.ready:
+            self._rr = (self.ready.index(warp) + 1) % max(1, len(self.ready))
+
+    @property
+    def has_warps(self) -> bool:
+        return bool(self.ready or self.pending)

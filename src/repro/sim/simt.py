@@ -1,0 +1,95 @@
+"""SIMT reconvergence stack (immediate-postdominator scheme).
+
+A warp's control flow is tracked by a stack of ``(pc, rpc, mask)``
+entries. The top entry drives fetch. A divergent branch turns the top
+entry into the reconvergence continuation and pushes one entry per
+taken side; execution reconverges when the running entry's PC reaches
+its reconvergence PC (``rpc``), which pops it.
+
+Masks are integers with one bit per lane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass
+class StackEntry:
+    pc: int
+    rpc: int | None  # reconvergence PC; None for the base entry
+    mask: int
+
+
+class SimtStack:
+    """Per-warp divergence stack."""
+
+    def __init__(self, entry_pc: int, full_mask: int):
+        self.full_mask = full_mask
+        self._stack: list[StackEntry] = [StackEntry(entry_pc, None, full_mask)]
+
+    # --- accessors -----------------------------------------------------------
+    @property
+    def top(self) -> StackEntry:
+        return self._stack[-1]
+
+    @property
+    def pc(self) -> int:
+        return self.top.pc
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.top.pc = value
+
+    @property
+    def active_mask(self) -> int:
+        return self.top.mask
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def diverged(self) -> bool:
+        return len(self._stack) > 1
+
+    # --- operations ----------------------------------------------------------
+    def maybe_reconverge(self) -> None:
+        """Pop entries whose PC reached their reconvergence point."""
+        while len(self._stack) > 1 and self.top.rpc is not None \
+                and self.top.pc == self.top.rpc:
+            self._stack.pop()
+
+    def branch(self, taken_mask: int, target_pc: int,
+               fallthrough_pc: int, reconv_pc: int) -> bool:
+        """Apply a (possibly divergent) conditional branch.
+
+        ``taken_mask`` must be a subset of the active mask. Returns True
+        when the warp diverged.
+        """
+        top = self.top
+        active = top.mask
+        if taken_mask & ~active:
+            raise SimulationError("taken mask exceeds active mask")
+        not_taken = active & ~taken_mask
+        if not_taken == 0:  # uniform taken
+            top.pc = target_pc
+            return False
+        if taken_mask == 0:  # uniform not-taken
+            top.pc = fallthrough_pc
+            return False
+        # Diverged: current entry becomes the reconvergence continuation.
+        top.pc = reconv_pc
+        self._stack.append(StackEntry(fallthrough_pc, reconv_pc, not_taken))
+        self._stack.append(StackEntry(target_pc, reconv_pc, taken_mask))
+        return True
+
+    def exit_lanes(self, mask: int) -> bool:
+        """Retire ``mask`` lanes (EXIT). Returns True when warp is done."""
+        for entry in self._stack:
+            entry.mask &= ~mask
+        while len(self._stack) > 1 and self.top.mask == 0:
+            self._stack.pop()
+        return self.top.mask == 0

@@ -1,0 +1,144 @@
+"""Per-warp execution state: lanes, SIMT stack, scoreboard, status.
+
+Functional register values are keyed by *architected* id and stored as
+32-lane numpy arrays; renaming affects only timing and the register
+file occupancy model, never functional values. That separation lets the
+test suite check that baseline / renamed / GPU-shrink configurations
+compute identical results.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.sim.simt import SimtStack
+
+
+class WarpStatus(enum.Enum):
+    ACTIVE = "active"
+    AT_BARRIER = "barrier"
+    SPILLING = "spilling"  # registers being written out
+    SPILLED = "spilled"  # waiting for registers to fill back
+    FILLING = "filling"  # registers being read back
+    FINISHED = "finished"
+
+
+class Warp:
+    """One warp resident on the SM."""
+
+    def __init__(self, slot: int, cta, warp_in_cta: int, warp_size: int,
+                 active_threads: int):
+        self.slot = slot  # hardware warp slot on the SM
+        self.cta = cta
+        self.warp_in_cta = warp_in_cta
+        self.warp_size = warp_size
+        full_mask = (1 << active_threads) - 1
+        self.stack = SimtStack(entry_pc=0, full_mask=full_mask)
+        self.status = WarpStatus.ACTIVE
+
+        lanes = np.arange(warp_size, dtype=np.int64)
+        self.lane_ids = lanes
+        self.tids = lanes + warp_in_cta * warp_size
+
+        self.regs: dict[int, np.ndarray] = {}
+        self.preds: dict[int, np.ndarray] = {}
+
+        # Scoreboard: registers/predicates with a write in flight.
+        self.pending_regs: set[int] = set()
+        self.pending_preds: set[int] = set()
+        self.outstanding_mem = 0
+
+        self.last_issue_cycle = -1
+        #: Front-end bubble: the warp cannot issue before this cycle
+        #: (branch redirect through the extra renaming stage, 7.1).
+        self.stalled_until = 0
+        # GPU-shrink spill bookkeeping.
+        self.spilled_regs: tuple[int, ...] = ()
+
+    # --- functional register access ------------------------------------------
+    def reg(self, index: int) -> np.ndarray:
+        values = self.regs.get(index)
+        if values is None:
+            values = np.zeros(self.warp_size, dtype=np.int64)
+            self.regs[index] = values
+        return values
+
+    def write_reg(self, index: int, values: np.ndarray,
+                  mask: np.ndarray) -> None:
+        current = self.reg(index)
+        self.regs[index] = np.where(mask, values, current)
+
+    def pred(self, index: int) -> np.ndarray:
+        values = self.preds.get(index)
+        if values is None:
+            values = np.zeros(self.warp_size, dtype=bool)
+            self.preds[index] = values
+        return values
+
+    def write_pred(self, index: int, values: np.ndarray,
+                   mask: np.ndarray) -> None:
+        current = self.pred(index)
+        self.preds[index] = np.where(mask, values, current)
+
+    # --- control ---------------------------------------------------------------
+    @property
+    def pc(self) -> int:
+        return self.stack.pc
+
+    @pc.setter
+    def pc(self, value: int) -> None:
+        self.stack.pc = value
+
+    @property
+    def finished(self) -> bool:
+        return self.status is WarpStatus.FINISHED
+
+    @property
+    def active_mask(self) -> int:
+        return self.stack.active_mask
+
+    def mask_array(self) -> np.ndarray:
+        """Active mask as a boolean lane array."""
+        mask = self.stack.active_mask
+        return ((mask >> self.lane_ids) & 1).astype(bool)
+
+    # --- scoreboard --------------------------------------------------------------
+    def scoreboard_ready(self, inst) -> bool:
+        """True when no RAW/WAW hazard blocks ``inst``."""
+        pending = self.pending_regs
+        if pending:
+            for reg in inst.srcs:
+                if reg in pending:
+                    return False
+            if inst.dst is not None and inst.dst in pending:
+                return False
+        if self.pending_preds:
+            if inst.guard is not None and inst.guard.preg in self.pending_preds:
+                return False
+            if inst.pdst is not None and inst.pdst in self.pending_preds:
+                return False
+        return True
+
+    def scoreboard_mark(self, inst) -> None:
+        if inst.dst is not None:
+            self.pending_regs.add(inst.dst)
+        if inst.pdst is not None:
+            self.pending_preds.add(inst.pdst)
+
+    def scoreboard_clear(self, inst) -> None:
+        if inst.dst is not None:
+            self.pending_regs.discard(inst.dst)
+        if inst.pdst is not None:
+            self.pending_preds.discard(inst.pdst)
+
+    @property
+    def schedulable(self) -> bool:
+        return self.status is WarpStatus.ACTIVE
+
+    def __repr__(self) -> str:
+        return (
+            f"Warp(slot={self.slot}, cta={self.cta.index}, pc={self.pc}, "
+            f"{self.status.value})"
+        )

@@ -1,0 +1,8 @@
+"""Command-line tools.
+
+* ``python -m repro.tools.simulate`` — run one benchmark under any
+  register-management configuration and print a statistics report.
+* ``python -m repro.tools.disasm`` — show a benchmark kernel before and
+  after the virtualization compile (metadata, renumbering, release
+  plan).
+"""

@@ -1,0 +1,1 @@
+"""Synthetic kernel generators, one module per Table 1 benchmark."""

@@ -1,0 +1,72 @@
+"""BackProp (Rodinia): neural-network layer forward/backward pass.
+
+Table 1: 4096 CTAs x 256 threads, 17 registers/kernel, 6 concurrent
+CTAs/SM. Two phases separated by a barrier, as in Rodinia's
+``bpnn_layerforward``: a weighted-sum accumulation over input units,
+then a weight-adjustment pass that re-reads shared partial sums. The
+phase-local temporaries die at the barrier boundary.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 17
+UNITS = 6
+
+_W_BASE = 0x10000
+_IN_BASE = 0x40000
+_DELTA_BASE = 0x60000
+_OUT_BASE = 0x80000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("backprop")
+    trips = scaled(UNITS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # global unit index (long-lived)
+    b.shl(2, 1, 2)  # byte address (long-lived)
+    b.movi(3, 0)  # forward accumulator
+    b.movi(4, trips)
+
+    b.label("forward")
+    b.shl(5, 4, 8)
+    b.iadd(5, 5, 1)
+    b.shl(5, 5, 2)
+    b.ldg(6, addr=5, offset=_W_BASE)  # weight
+    b.ldg(7, addr=5, offset=_IN_BASE)  # input activation
+    b.imad(3, 6, 7, 3)
+    b.iaddi(4, 4, -1)
+    b.setp(0, 4, CmpOp.GT, imm=0)
+    b.bra("forward", pred=0)
+
+    # Publish partial sums, synchronize the layer.
+    b.shl(8, 0, 2)
+    b.sts(addr=8, value=3)
+    b.bar()
+
+    # Backward: adjust weights from neighbour partials and deltas.
+    b.movi(9, trips)
+    b.label("backward")
+    b.iaddi(10, 8, 4)
+    b.lds(11, addr=10)  # neighbour partial
+    b.ldg(12, addr=2, offset=_DELTA_BASE)
+    b.imul(13, 11, 12)
+    b.shr(14, 13, 4)  # learning-rate scale
+    b.iadd(15, 3, 14)
+    b.stg(addr=2, value=15, offset=_OUT_BASE)
+    b.iaddi(9, 9, -1)
+    b.setp(1, 9, CmpOp.GT, imm=0)
+    b.bra("backward", pred=1)
+
+    b.imax(16, 3, 15)
+    b.stg(addr=2, value=16, offset=_OUT_BASE + 0x10000)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,56 @@
+"""BFS (Rodinia): one breadth-first-search frontier expansion step.
+
+Table 1: 1954 CTAs x 512 threads, 9 registers/kernel, 3 concurrent
+CTAs/SM. Each thread checks whether its node is on the frontier (a
+data-dependent test that diverges the warp), and frontier threads walk
+their (short) adjacency list updating neighbour costs. Divergence plus
+a low register count make BFS one of the benchmarks that fit a halved
+register file outright (zero overhead in Fig. 11a).
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 9
+NEIGHBOURS = 3
+
+_MASK_BASE = 0x10000
+_EDGE_BASE = 0x40000
+_COST_BASE = 0x80000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("bfs")
+    trips = scaled(NEIGHBOURS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # node id
+    b.shl(2, 1, 2)
+    b.ldg(3, addr=2, offset=_MASK_BASE)  # frontier mask word
+    b.and_(3, 3, 1)
+    b.setp(0, 3, CmpOp.NE, imm=0)  # on frontier? (diverges)
+    b.bra("skip", pred=0, negated=True)
+
+    # Frontier path: walk the adjacency list.
+    b.movi(4, trips)
+    b.label("edge")
+    b.ldg(5, addr=2, offset=_EDGE_BASE)  # neighbour id
+    b.shl(6, 5, 2)
+    b.ldg(7, addr=6, offset=_COST_BASE)
+    b.iaddi(8, 7, 1)
+    b.stg(addr=6, value=8, offset=_COST_BASE)
+    b.iaddi(4, 4, -1)
+    b.setp(1, 4, CmpOp.GT, imm=0)
+    b.bra("edge", pred=1)
+
+    b.label("skip")
+    b.stg(addr=2, value=1, offset=_MASK_BASE + 0x20000)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,70 @@
+"""BlackScholes (CUDA SDK): option pricing, heavy straight-line ALU.
+
+Table 1: 480 CTAs x 128 threads, 18 registers/kernel, 8 concurrent
+CTAs/SM. A long arithmetic pipeline per option (CND polynomial
+evaluation with RCP/SQRT special functions) runs inside a small
+options-per-thread loop and writes a call and a put price. Most of the
+18 registers are short-lived expression temporaries — exactly the kind
+of code where virtualization frees nearly half the file.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 18
+OPTIONS_PER_THREAD = 4
+
+_S_BASE = 0x10000
+_X_BASE = 0x30000
+_T_BASE = 0x50000
+_CALL_BASE = 0x70000
+_PUT_BASE = 0x90000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("blackscholes")
+    trips = scaled(OPTIONS_PER_THREAD, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # global id (long-lived index)
+    b.movi(2, trips)  # option loop counter
+
+    b.label("option")
+    b.shl(3, 2, 10)
+    b.iadd(3, 3, 1)
+    b.shl(3, 3, 2)  # option address
+    b.ldg(4, addr=3, offset=_S_BASE)  # stock price
+    b.ldg(5, addr=3, offset=_X_BASE)  # strike
+    b.ldg(6, addr=3, offset=_T_BASE)  # expiry
+    # d1 = (log-ish(S/X) + T) / sqrt(T): modelled with rcp/sqrt chains.
+    b.rcp(7, 5)
+    b.imul(8, 4, 7)
+    b.sqrt(9, 6)
+    b.iadd(10, 8, 6)
+    b.rcp(11, 9)
+    b.imul(12, 10, 11)  # d1
+    b.isub(13, 12, 9)  # d2
+    # CND polynomial on d1 and d2.
+    b.imad(14, 12, 12, 12)
+    b.imad(15, 14, 12, 4)
+    b.imad(16, 13, 13, 13)
+    b.imad(17, 16, 13, 5)
+    # Call = S*CND(d1) - X*CND(d2); Put from parity.
+    b.imul(14, 4, 15)
+    b.imul(16, 5, 17)
+    b.isub(15, 14, 16)
+    b.stg(addr=3, value=15, offset=_CALL_BASE)
+    b.isub(17, 16, 14)
+    b.stg(addr=3, value=17, offset=_PUT_BASE)
+    b.iaddi(2, 2, -1)
+    b.setp(0, 2, CmpOp.GT, imm=0)
+    b.bra("option", pred=0)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

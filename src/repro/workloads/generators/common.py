@@ -1,0 +1,39 @@
+"""Shared code-generation idioms for the synthetic benchmarks.
+
+These helpers emit the instruction patterns every CUDA kernel starts
+and ends with (global thread id computation, counted loops, grid-stride
+output stores), so the per-benchmark generators only express what is
+distinctive about each application.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+
+
+def global_thread_id(b: KernelBuilder, dst: int, tmp: int) -> None:
+    """dst = ctaid * ntid + tid (the canonical CUDA prologue)."""
+    b.s2r(dst, Special.CTAID)
+    b.s2r(tmp, Special.NTID)
+    b.imul(dst, dst, tmp)
+    b.s2r(tmp, Special.TID)
+    b.iadd(dst, dst, tmp)
+
+
+def counted_loop(b: KernelBuilder, counter: int, trips: int,
+                 body, pred: int = 0) -> None:
+    """Run ``body()`` ``trips`` times using ``counter`` and ``pred``.
+
+    ``body`` receives no arguments; it must not clobber ``counter``.
+    """
+    b.movi(counter, trips)
+    top = b.label()
+    body()
+    b.iaddi(counter, counter, -1)
+    b.setp(pred, counter, CmpOp.GT, imm=0)
+    b.bra(top, pred=pred)
+
+
+def scaled(trips: int, scale: float, minimum: int = 1) -> int:
+    """Scale a loop trip count, keeping at least ``minimum``."""
+    return max(minimum, int(round(trips * scale)))

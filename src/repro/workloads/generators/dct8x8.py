@@ -1,0 +1,71 @@
+"""DCT8x8 (CUDA SDK): 8-point butterfly transform per thread row.
+
+Table 1: 4096 CTAs x 64 threads, 22 registers/kernel, 8 concurrent
+CTAs/SM. Each thread loads eight coefficients, runs the butterfly
+add/sub network (whose intermediates are classic short-lived
+temporaries) and stores eight results; a small loop covers row and
+column passes.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 22
+PASSES = 2  # row pass + column pass
+
+_IN_BASE = 0x10000
+_OUT_BASE = 0x80000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("dct8x8")
+    trips = scaled(PASSES, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # row index
+    b.shl(1, 1, 5)  # row base (8 words padded)
+    b.movi(2, trips)
+
+    b.label("pass")
+    # Load the eight inputs of this row.
+    for i in range(8):
+        b.ldg(3 + i, addr=1, offset=_IN_BASE + 4 * i)
+    # Butterfly stage 1: sums and differences.
+    b.iadd(11, 3, 10)
+    b.iadd(12, 4, 9)
+    b.iadd(13, 5, 8)
+    b.iadd(14, 6, 7)
+    b.isub(15, 3, 10)
+    b.isub(16, 4, 9)
+    b.isub(17, 5, 8)
+    b.isub(18, 6, 7)
+    # Stage 2.
+    b.iadd(19, 11, 14)
+    b.isub(20, 11, 14)
+    b.iadd(21, 12, 13)
+    b.isub(11, 12, 13)
+    # Stage 3 outputs, stored as computed.
+    b.iadd(12, 19, 21)
+    b.stg(addr=1, value=12, offset=_OUT_BASE + 0)
+    b.isub(13, 19, 21)
+    b.stg(addr=1, value=13, offset=_OUT_BASE + 4)
+    b.imad(14, 15, 16, 20)
+    b.stg(addr=1, value=14, offset=_OUT_BASE + 8)
+    b.imad(19, 17, 18, 11)
+    b.stg(addr=1, value=19, offset=_OUT_BASE + 12)
+    b.iadd(20, 15, 17)
+    b.stg(addr=1, value=20, offset=_OUT_BASE + 16)
+    b.isub(21, 16, 18)
+    b.stg(addr=1, value=21, offset=_OUT_BASE + 20)
+    b.iaddi(2, 2, -1)
+    b.setp(0, 2, CmpOp.GT, imm=0)
+    b.bra("pass", pred=0)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

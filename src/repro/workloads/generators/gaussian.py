@@ -1,0 +1,46 @@
+"""Gaussian (Rodinia): one Gaussian-elimination sweep.
+
+Table 1: 2 CTAs x 512 threads, 8 registers/kernel, 3 concurrent
+CTAs/SM — a tiny grid (both CTAs fit one SM) with a small register
+footprint, so it fits the halved register file outright and sees zero
+GPU-shrink overhead (Fig. 11a).
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 8
+COLUMNS = 6
+
+_M_BASE = 0x100000
+_OUT_BASE = 0x200000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("gaussian")
+    columns = scaled(COLUMNS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # element id
+    b.shl(1, 1, 2)  # element address (long-lived)
+    b.movi(2, columns)
+
+    b.label("column")
+    b.ldg(3, addr=1, offset=_M_BASE)  # matrix element
+    b.shl(4, 2, 2)
+    b.ldg(5, addr=4, offset=_M_BASE)  # pivot-column element
+    b.rcp(6, 5)
+    b.imad(7, 3, 6, 5)
+    b.stg(addr=1, value=7, offset=_OUT_BASE)
+    b.iaddi(2, 2, -1)
+    b.setp(0, 2, CmpOp.GT, imm=0)
+    b.bra("column", pred=0)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

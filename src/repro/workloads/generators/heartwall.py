@@ -1,0 +1,87 @@
+"""Heartwall (Rodinia): ultrasound image tracking.
+
+Table 1: 51 CTAs x 512 threads, 29 registers/kernel, 2 concurrent
+CTAs/SM — the largest register footprint in the suite. Nested loops
+(template windows x convolution taps) with long convolution chains keep
+many values alive at once, and a handful of registers carry across both
+loop levels. With 29 registers per thread it is one of the three
+benchmarks whose unconstrained renaming table exceeds 1 KB (Fig. 14:
+four registers exempted).
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 29
+WINDOWS = 3
+TAPS = 4
+
+_IMG_BASE = 0x100000
+_TPL_BASE = 0x200000
+_OUT_BASE = 0x300000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("heartwall")
+    windows = scaled(WINDOWS, scale)
+    taps = scaled(TAPS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # pixel id (long-lived)
+    b.shl(2, 1, 2)  # pixel address (long-lived)
+    b.movi(3, 0)  # best correlation (long-lived)
+    b.movi(4, 0)  # best offset (long-lived)
+    b.movi(5, windows)  # window counter
+
+    b.label("window")
+    b.shl(6, 5, 6)
+    b.iadd(7, 2, 6)  # window base address
+    b.movi(8, 0)  # window accumulator
+    b.movi(9, taps)  # tap counter
+
+    b.label("tap")
+    b.shl(10, 9, 2)
+    b.iadd(11, 7, 10)
+    b.ldg(12, addr=11, offset=_IMG_BASE)
+    b.ldg(13, addr=11, offset=_TPL_BASE)
+    b.imul(14, 12, 13)
+    b.imad(15, 12, 12, 14)
+    b.imad(16, 13, 13, 15)
+    b.iadd(17, 14, 16)
+    b.shr(18, 17, 2)
+    b.iadd(8, 8, 18)
+    # Gradient terms with their own temporaries.
+    b.ldg(19, addr=11, offset=_IMG_BASE + 4)
+    b.isub(20, 19, 12)
+    b.ldg(21, addr=11, offset=_TPL_BASE + 4)
+    b.isub(22, 21, 13)
+    b.imul(23, 20, 22)
+    b.iadd(8, 8, 23)
+    b.iaddi(9, 9, -1)
+    b.setp(0, 9, CmpOp.GT, imm=0)
+    b.bra("tap", pred=0)
+
+    # Track the best window: normalization chain then compare.
+    b.sqrt(24, 8)
+    b.rcp(25, 24)
+    b.imul(26, 8, 25)
+    b.imax(27, 3, 26)
+    b.setp(1, 26, CmpOp.GT, src2=3)
+    b.mov(3, 27)
+    b.mov(4, 5, pred=1)  # record window index when it improved
+    b.iaddi(5, 5, -1)
+    b.setp(2, 5, CmpOp.GT, imm=0)
+    b.bra("window", pred=2)
+
+    b.iadd(28, 3, 4)
+    b.stg(addr=2, value=28, offset=_OUT_BASE)
+    b.stg(addr=2, value=4, offset=_OUT_BASE + 0x1000)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

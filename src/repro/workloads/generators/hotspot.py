@@ -1,0 +1,68 @@
+"""HotSpot (Rodinia): thermal stencil iteration.
+
+Table 1: 1849 CTAs x 256 threads, 22 registers/kernel, 3 concurrent
+CTAs/SM. Each thread owns a grid cell: per time step it loads the
+north/south/east/west/center temperatures plus the power input,
+evaluates the stencil and writes the new temperature, with boundary
+cells handled under a predicate (the paper's Fig. 1f shows its
+live-register fraction oscillating well below 50 %).
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 22
+TIME_STEPS = 4
+GRID_WIDTH_SHIFT = 6  # 64-cell rows
+
+_T_BASE = 0x100000
+_P_BASE = 0x200000
+_OUT_BASE = 0x300000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("hotspot")
+    steps = scaled(TIME_STEPS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # cell id (long-lived)
+    b.shl(2, 1, 2)  # cell address (long-lived)
+    b.movi(3, steps)
+
+    b.label("step")
+    b.ldg(4, addr=2, offset=_T_BASE)  # center
+    b.ldg(5, addr=2, offset=_T_BASE + 4)  # east
+    b.ldg(6, addr=2, offset=_T_BASE - 4)  # west
+    b.ldg(7, addr=2, offset=_T_BASE + (4 << GRID_WIDTH_SHIFT))  # south
+    b.ldg(8, addr=2, offset=_T_BASE - (4 << GRID_WIDTH_SHIFT))  # north
+    b.ldg(9, addr=2, offset=_P_BASE)  # power
+    # Stencil: delta = (E+W-2C) + (N+S-2C) + P, with rate scaling.
+    b.iadd(10, 5, 6)
+    b.shl(11, 4, 1)
+    b.isub(12, 10, 11)
+    b.iadd(13, 7, 8)
+    b.isub(14, 13, 11)
+    b.iadd(15, 12, 14)
+    b.iadd(16, 15, 9)
+    b.shr(17, 16, 3)
+    b.iadd(18, 4, 17)
+    # Boundary cells keep their temperature (predicated select).
+    b.and_(19, 1, 1)
+    b.setp(1, 19, CmpOp.NE, imm=0)
+    b.sel(20, 19, 18, 4)
+    b.stg(addr=2, value=20, offset=_OUT_BASE, pred=1)
+    b.stg(addr=2, value=4, offset=_OUT_BASE, pred=1, negated=True)
+    b.imin(21, 18, 20)
+    b.stg(addr=2, value=21, offset=_OUT_BASE + 0x100000)
+    b.iaddi(3, 3, -1)
+    b.setp(0, 3, CmpOp.GT, imm=0)
+    b.bra("step", pred=0)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

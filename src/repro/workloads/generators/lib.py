@@ -1,0 +1,69 @@
+"""LIB (Parboil-era LIBOR): Monte-Carlo interest-rate paths.
+
+Table 1: 64 CTAs x 64 threads, 22 registers/kernel, 8 concurrent
+CTAs/SM. Each thread evolves a forward-rate path: per step it draws a
+pseudo-random number (hash chain), applies drift and volatility chains
+(RCP/SQRT), and accumulates the discounted payoff — a long ALU
+pipeline whose temporaries die within each step while the path state
+registers survive the whole loop.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 22
+STEPS = 5
+
+_SEED_BASE = 0x100000
+_OUT_BASE = 0x200000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("lib")
+    steps = scaled(STEPS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # path id (long-lived)
+    b.shl(2, 1, 2)  # path address (long-lived)
+    b.ldg(3, addr=2, offset=_SEED_BASE)  # rng state (loop-carried)
+    b.movi(4, 0)  # payoff accumulator (loop-carried)
+    b.movi(5, 0x100)  # forward rate (loop-carried)
+    b.movi(6, steps)
+
+    b.label("step")
+    # xorshift-flavoured rng update.
+    b.shl(7, 3, 7)
+    b.xor(3, 3, 7)
+    b.shr(8, 3, 9)
+    b.xor(3, 3, 8)
+    b.and_(9, 3, 5)
+    # Drift and volatility chains.
+    b.sqrt(10, 9)
+    b.rcp(11, 10)
+    b.imul(12, 9, 11)
+    b.iadd(13, 5, 12)
+    b.shr(14, 13, 1)
+    b.imad(15, 14, 11, 5)
+    b.mov(5, 15)  # rate evolves
+    # Discounted payoff for this step.
+    b.rcp(16, 15)
+    b.imul(17, 16, 9)
+    b.imax(18, 17, 12)
+    b.imin(19, 18, 13)
+    b.iadd(20, 19, 17)
+    b.iadd(4, 4, 20)
+    b.iaddi(6, 6, -1)
+    b.setp(0, 6, CmpOp.GT, imm=0)
+    b.bra("step", pred=0)
+
+    b.iadd(21, 4, 5)
+    b.stg(addr=2, value=21, offset=_OUT_BASE)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,62 @@
+"""LPS (CUDA SDK 3D Laplace solver).
+
+Table 1: 100 CTAs x 128 threads, 17 registers/kernel, 8 concurrent
+CTAs/SM. A 3-D stencil over a small number of z-plane iterations with
+shared-memory staging of the current plane and predicated boundary
+handling (Fig. 1d shows its live fraction mostly under 50 %).
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 17
+PLANES = 4
+PLANE_SHIFT = 10
+
+_U_BASE = 0x100000
+_OUT_BASE = 0x300000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("lps")
+    planes = scaled(PLANES, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # column id (long-lived)
+    b.shl(2, 1, 2)  # column address (long-lived)
+    b.movi(3, planes)
+
+    b.label("plane")
+    b.shl(4, 3, PLANE_SHIFT)
+    b.iadd(5, 2, 4)  # cell address in this plane
+    b.ldg(6, addr=5, offset=_U_BASE)  # center
+    b.shl(7, 0, 2)
+    b.sts(addr=7, value=6)  # stage plane in shared memory
+    b.bar()
+    b.lds(8, addr=7, offset=4)  # east neighbour via shared
+    b.lds(9, addr=7, offset=-4)  # west
+    b.ldg(10, addr=5, offset=_U_BASE + (4 << PLANE_SHIFT))  # up
+    b.ldg(11, addr=5, offset=_U_BASE - (4 << PLANE_SHIFT))  # down
+    b.iadd(12, 8, 9)
+    b.iadd(13, 10, 11)
+    b.iadd(14, 12, 13)
+    b.shl(15, 6, 2)
+    b.isub(16, 14, 15)
+    b.shr(16, 16, 2)
+    # Interior cells only (boundary predicate).
+    b.setp(1, 0, CmpOp.GT, imm=0)
+    b.stg(addr=5, value=16, offset=_OUT_BASE, pred=1)
+    b.stg(addr=5, value=6, offset=_OUT_BASE, pred=1, negated=True)
+    b.bar()
+    b.iaddi(3, 3, -1)
+    b.setp(0, 3, CmpOp.GT, imm=0)
+    b.bra("plane", pred=0)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

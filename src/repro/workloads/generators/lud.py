@@ -1,0 +1,67 @@
+"""LUD (Rodinia): LU decomposition diagonal/perimeter step.
+
+Table 1: 15 CTAs x 32 threads, 19 registers/kernel, 6 concurrent
+CTAs/SM — single-warp CTAs working on matrix tiles. The elimination
+loop divides the pivot row (RCP chain), updates the trailing
+submatrix row per thread, and synchronizes per pivot. Its 19 registers
+against few resident warps make it a renaming-table-pressure benchmark
+(Fig. 14 exempts two registers under the 1 KB cap in the paper).
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 19
+PIVOTS = 6
+
+_A_BASE = 0x100000
+_OUT_BASE = 0x200000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("lud")
+    pivots = scaled(PIVOTS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # row id (long-lived)
+    b.shl(2, 1, 2)  # row address (long-lived)
+    b.movi(3, pivots)
+
+    b.label("pivot")
+    b.shl(4, 3, 7)  # pivot row base
+    b.ldg(5, addr=4, offset=_A_BASE)  # pivot element
+    b.rcp(6, 5)  # 1/pivot
+    b.ldg(7, addr=2, offset=_A_BASE)  # my row element in pivot column
+    b.imul(8, 7, 6)  # multiplier
+    # Only rows below the pivot update (divergent test).
+    b.setp(1, 1, CmpOp.GT, src2=3)
+    b.bra("next", pred=1, negated=True)
+    b.iadd(9, 4, 2)
+    b.ldg(10, addr=9, offset=_A_BASE)  # pivot-row trailing element
+    b.ldg(11, addr=2, offset=_A_BASE + 4)  # my trailing element
+    b.imul(12, 8, 10)
+    b.isub(13, 11, 12)
+    b.stg(addr=2, value=13, offset=_OUT_BASE)
+    b.stg(addr=2, value=8, offset=_OUT_BASE + 0x1000)  # store multiplier
+    b.label("next")
+    b.bar()
+    b.iaddi(3, 3, -1)
+    b.setp(0, 3, CmpOp.GT, imm=0)
+    b.bra("pivot", pred=0)
+
+    # Final norm of the factored row.
+    b.ldg(14, addr=2, offset=_OUT_BASE)
+    b.imad(15, 14, 14, 14)
+    b.sqrt(16, 15)
+    b.imax(17, 16, 14)
+    b.iadd(18, 17, 1)
+    b.stg(addr=2, value=18, offset=_OUT_BASE + 0x2000)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,70 @@
+"""MUM (MUMmerGPU): suffix-tree matching, memory-bound pointer chasing.
+
+Table 1: 196 CTAs x 256 threads, 19 registers/kernel, 6 concurrent
+CTAs/SM. Each thread walks a tree: every step loads a node, derives the
+next node address *from the loaded value* (a dependent-load chain that
+saturates the memory pipeline) and diverges on a match test. This is
+the benchmark whose performance *improves* under GPU-shrink in the
+paper: throttling warps disperses the memory contention.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 19
+DEPTH = 6
+
+_NODE_BASE = 0x100000
+_QUERY_BASE = 0x300000
+_OUT_BASE = 0x400000
+_NODE_MASK = 0xFFFF
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("mum")
+    depth = scaled(DEPTH, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # query id (long-lived)
+    b.shl(2, 1, 2)  # query address (long-lived)
+    b.ldg(3, addr=2, offset=_QUERY_BASE)  # query word (long-lived)
+    b.movi(4, 0)  # current node (loop-carried)
+    b.movi(5, 0)  # match length (loop-carried)
+    b.movi(6, depth)
+
+    b.label("walk")
+    b.shl(7, 4, 2)
+    b.ldg(8, addr=7, offset=_NODE_BASE)  # node record (dependent load)
+    b.movi(9, _NODE_MASK)
+    b.and_(10, 8, 9)  # child pointer
+    b.xor(11, 8, 3)  # compare with query
+    b.movi(12, 0xFF)
+    b.and_(13, 11, 12)
+    b.setp(1, 13, CmpOp.EQ, imm=0)  # character match? (diverges)
+    b.bra("mismatch", pred=1, negated=True)
+    b.iaddi(5, 5, 1)  # extend the match
+    b.shl(14, 10, 1)
+    b.ldg(15, addr=14, offset=_NODE_BASE)  # second dependent load
+    b.iadd(16, 10, 15)
+    b.and_(4, 16, 9)
+    b.bra("continue")
+    b.label("mismatch")
+    b.shr(17, 8, 8)
+    b.and_(4, 17, 9)  # follow suffix link
+    b.label("continue")
+    b.iaddi(6, 6, -1)
+    b.setp(0, 6, CmpOp.GT, imm=0)
+    b.bra("walk", pred=0)
+
+    b.imad(18, 5, 3, 4)
+    b.stg(addr=2, value=18, offset=_OUT_BASE)
+    b.stg(addr=2, value=5, offset=_OUT_BASE + 0x10000)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,58 @@
+"""NN (Rodinia nearest neighbour): distance to target per record.
+
+Table 1: 168 CTAs x 169 threads, 14 registers/kernel, 8 concurrent
+CTAs/SM. Note the odd CTA size: 169 threads leaves the sixth warp of
+every CTA partially populated, exercising partial-warp masks. Each
+thread computes a latitude/longitude distance (square, sum, sqrt) for
+its record and keeps a running minimum over a few records.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 14
+RECORDS = 4
+
+_LAT_BASE = 0x100000
+_LNG_BASE = 0x200000
+_OUT_BASE = 0x300000
+_TARGET_LAT = 0x55
+_TARGET_LNG = 0x2A
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("nn")
+    records = scaled(RECORDS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # record id (long-lived)
+    b.shl(2, 1, 2)  # record address (long-lived)
+    b.movi(3, 0x7FFFFFFF)  # running minimum (loop-carried)
+    b.movi(4, records)
+
+    b.label("record")
+    b.shl(5, 4, 8)
+    b.iadd(5, 5, 2)
+    b.ldg(6, addr=5, offset=_LAT_BASE)
+    b.ldg(7, addr=5, offset=_LNG_BASE)
+    b.iaddi(8, 6, -_TARGET_LAT)
+    b.iaddi(9, 7, -_TARGET_LNG)
+    b.imul(10, 8, 8)
+    b.imad(11, 9, 9, 10)
+    b.sqrt(12, 11)
+    b.imin(3, 3, 12)
+    b.iaddi(4, 4, -1)
+    b.setp(0, 4, CmpOp.GT, imm=0)
+    b.bra("record", pred=0)
+
+    b.iadd(13, 3, 1)
+    b.stg(addr=2, value=13, offset=_OUT_BASE)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,65 @@
+"""Reduction (CUDA SDK): shared-memory tree reduction.
+
+Table 1: 64 CTAs x 256 threads, 14 registers/kernel, 6 concurrent
+CTAs/SM. Each thread loads one element to shared memory; log2(threads)
+rounds then halve the active range with a ``tid < stride`` test —
+predicated work under a divergence-shaped guard — separated by
+barriers; thread 0 writes the CTA's partial sum. The stride loop
+carries several registers across iterations while the per-round
+temporaries die quickly, giving the mid-range liveness of Fig. 1b.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 14
+#: Tree rounds at scale 1.0 (256 threads -> 8 rounds).
+ROUNDS_START_STRIDE = 128
+
+_IN_BASE = 0x10000
+_OUT_BASE = 0x20000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("reduction")
+    stride = scaled(ROUNDS_START_STRIDE, scale, minimum=2)
+    # Round stride to a power of two.
+    stride = 1 << (stride.bit_length() - 1)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(3, 1, 2, 0)  # global id
+    b.shl(3, 3, 2)
+    b.ldg(2, addr=3, offset=_IN_BASE)  # element
+    b.shl(4, 0, 2)  # shared slot address
+    b.sts(addr=4, value=2)
+    b.bar()
+    b.movi(5, stride)  # stride (loop-carried)
+
+    b.label("round")
+    b.setp(1, 0, CmpOp.LT, src2=5)  # tid < stride?
+    b.lds(6, addr=4, pred=1)
+    b.shl(7, 5, 2, pred=1)
+    b.iadd(8, 4, 7, pred=1)
+    b.lds(9, addr=8, pred=1)
+    b.iadd(10, 6, 9, pred=1)
+    b.sts(addr=4, value=10, pred=1)
+    b.bar()
+    b.shr(5, 5, 1)
+    b.setp(0, 5, CmpOp.GT, imm=0)
+    b.bra("round", pred=0)
+
+    # Thread 0 stores the CTA partial sum.
+    b.setp(2, 0, CmpOp.EQ, imm=0)
+    b.lds(11, addr=4, pred=2)
+    b.s2r(12, Special.CTAID, pred=2)
+    b.shl(13, 12, 2, pred=2)
+    b.stg(addr=13, value=11, offset=_OUT_BASE, pred=2)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

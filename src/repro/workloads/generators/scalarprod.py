@@ -1,0 +1,65 @@
+"""ScalarProd (CUDA SDK): batched dot products with shared reduction.
+
+Table 1: 128 CTAs x 256 threads, 17 registers/kernel, 6 concurrent
+CTAs/SM. Each thread accumulates a strided slice of one vector pair,
+then the CTA reduces partial sums through shared memory — a loop phase
+with few live registers followed by a barrier-separated reduction
+phase.
+"""
+
+from __future__ import annotations
+
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.isa.kernel import Kernel
+from repro.workloads.generators.common import scaled
+
+REGS = 17
+ELEMENTS = 6
+
+_A_BASE = 0x100000
+_B_BASE = 0x300000
+_OUT_BASE = 0x500000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    b = KernelBuilder("scalarprod")
+    elements = scaled(ELEMENTS, scale)
+
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(1, 1, 2, 0)  # lane in the batch (long-lived)
+    b.shl(2, 1, 2)
+    b.movi(3, 0)  # dot-product accumulator
+    b.movi(4, elements)
+
+    b.label("accumulate")
+    b.shl(5, 4, 9)
+    b.iadd(6, 5, 2)
+    b.ldg(7, addr=6, offset=_A_BASE)
+    b.ldg(8, addr=6, offset=_B_BASE)
+    b.imad(3, 7, 8, 3)
+    b.iaddi(4, 4, -1)
+    b.setp(0, 4, CmpOp.GT, imm=0)
+    b.bra("accumulate", pred=0)
+
+    # CTA-level reduction through shared memory (one round + tail).
+    b.shl(9, 0, 2)
+    b.sts(addr=9, value=3)
+    b.bar()
+    b.movi(10, 512)  # half the CTA, in bytes
+    b.setp(1, 9, CmpOp.LT, src2=10)
+    b.iadd(11, 9, 10, pred=1)
+    b.lds(12, addr=11, pred=1)
+    b.lds(13, addr=9, pred=1)
+    b.iadd(14, 12, 13, pred=1)
+    b.sts(addr=9, value=14, pred=1)
+    b.bar()
+    b.setp(2, 0, CmpOp.EQ, imm=0)
+    b.lds(15, addr=9, pred=2)
+    b.shl(16, 1, 2, pred=2)
+    b.stg(addr=16, value=15, offset=_OUT_BASE, pred=2)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

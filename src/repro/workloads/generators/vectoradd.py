@@ -1,0 +1,37 @@
+"""VectorAdd (CUDA SDK): c[i] = a[i] + b[i].
+
+Table 1: 196 CTAs x 256 threads, 4 registers/kernel, 6 concurrent
+CTAs/SM. The shortest kernel in the suite: a handful of instructions
+with no loop, so nearly all of its four registers are live at once —
+the one benchmark whose live-register fraction touches 100 % in Fig. 1
+and which gains almost nothing from virtualization in Fig. 10.
+"""
+
+from __future__ import annotations
+
+from repro.isa import KernelBuilder, Special
+from repro.isa.kernel import Kernel
+
+REGS = 4
+
+_A_BASE = 0x1000
+_B_BASE = 0x200000
+_C_BASE = 0x400000
+
+
+def build(scale: float = 1.0) -> Kernel:
+    del scale  # no loops to scale
+    b = KernelBuilder("vectoradd")
+    b.s2r(0, Special.TID)
+    b.s2r(1, Special.CTAID)
+    b.s2r(2, Special.NTID)
+    b.imad(3, 1, 2, 0)  # global thread id
+    b.shl(3, 3, 2)  # byte offset
+    b.ldg(0, addr=3, offset=_A_BASE)
+    b.ldg(1, addr=3, offset=_B_BASE)
+    b.iadd(2, 0, 1)
+    b.stg(addr=3, value=2, offset=_C_BASE)
+    b.exit()
+    kernel = b.build()
+    assert kernel.num_regs == REGS, kernel.num_regs
+    return kernel

@@ -1,0 +1,127 @@
+"""Workload registry: Table 1 of the paper plus kernel builders.
+
+``TABLE1`` records the published per-benchmark characteristics
+verbatim; :func:`get_workload` builds the matching synthetic kernel and
+launch configuration. Generators accept a ``scale`` factor that
+shortens or lengthens their loops without changing register counts or
+launch shape (used to keep pure-Python simulation times reasonable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.isa.kernel import Kernel
+from repro.launch import LaunchConfig
+from repro.workloads.generators import (
+    backprop,
+    bfs,
+    blackscholes,
+    dct8x8,
+    gaussian,
+    heartwall,
+    hotspot,
+    lib,
+    lps,
+    lud,
+    matrixmul,
+    mum,
+    nn,
+    reduction,
+    scalarprod,
+    vectoradd,
+)
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of the paper's Table 1."""
+
+    name: str
+    ctas: int
+    threads_per_cta: int
+    regs_per_kernel: int
+    #: Minimum registers avoiding spills (the parenthesised value).
+    min_regs: int
+    conc_ctas_per_sm: int
+
+
+#: Table 1 of the paper, verbatim.
+TABLE1: dict[str, Table1Row] = {
+    row.name: row
+    for row in (
+        Table1Row("matrixmul", 64, 256, 14, 7, 6),
+        Table1Row("blackscholes", 480, 128, 18, 16, 8),
+        Table1Row("dct8x8", 4096, 64, 22, 19, 8),
+        Table1Row("reduction", 64, 256, 14, 8, 6),
+        Table1Row("vectoradd", 196, 256, 4, 3, 6),
+        Table1Row("backprop", 4096, 256, 17, 12, 6),
+        Table1Row("bfs", 1954, 512, 9, 6, 3),
+        Table1Row("heartwall", 51, 512, 29, 23, 2),
+        Table1Row("hotspot", 1849, 256, 22, 20, 3),
+        Table1Row("scalarprod", 128, 256, 17, 11, 6),
+        Table1Row("nn", 168, 169, 14, 8, 8),
+        Table1Row("lud", 15, 32, 19, 12, 6),
+        Table1Row("gaussian", 2, 512, 8, 6, 3),
+        Table1Row("lib", 64, 64, 22, 17, 8),
+        Table1Row("lps", 100, 128, 17, 16, 8),
+        Table1Row("mum", 196, 256, 19, 17, 6),
+    )
+}
+
+_BUILDERS: dict[str, Callable[[float], Kernel]] = {
+    "matrixmul": matrixmul.build,
+    "blackscholes": blackscholes.build,
+    "dct8x8": dct8x8.build,
+    "reduction": reduction.build,
+    "vectoradd": vectoradd.build,
+    "backprop": backprop.build,
+    "bfs": bfs.build,
+    "heartwall": heartwall.build,
+    "hotspot": hotspot.build,
+    "scalarprod": scalarprod.build,
+    "nn": nn.build,
+    "lud": lud.build,
+    "gaussian": gaussian.build,
+    "lib": lib.build,
+    "lps": lps.build,
+    "mum": mum.build,
+}
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A runnable benchmark: kernel + launch + published shape."""
+
+    name: str
+    kernel: Kernel
+    launch: LaunchConfig
+    table1: Table1Row
+
+
+def all_workload_names() -> tuple[str, ...]:
+    """The 16 benchmark names in Table 1 order."""
+    return tuple(TABLE1)
+
+
+def get_workload(name: str, scale: float = 1.0) -> Workload:
+    """Build benchmark ``name`` at loop-scale ``scale``."""
+    key = name.lower()
+    if key not in TABLE1:
+        known = ", ".join(TABLE1)
+        raise ConfigError(f"unknown workload '{name}'; known: {known}")
+    row = TABLE1[key]
+    kernel = _BUILDERS[key](scale)
+    if kernel.num_regs != row.regs_per_kernel:
+        raise ConfigError(
+            f"{name}: generator produced {kernel.num_regs} registers, "
+            f"Table 1 says {row.regs_per_kernel}"
+        )
+    launch = LaunchConfig(
+        grid_ctas=row.ctas,
+        threads_per_cta=row.threads_per_cta,
+        conc_ctas_per_sm=row.conc_ctas_per_sm,
+    )
+    return Workload(name=key, kernel=kernel, launch=launch, table1=row)

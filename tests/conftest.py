@@ -1,0 +1,106 @@
+"""Shared fixtures: small kernels and configurations used across tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.isa import assemble
+from repro.launch import LaunchConfig
+
+#: Straight-line kernel: no branches, four registers.
+STRAIGHT_SRC = """
+.kernel straight
+    S2R r0, SR_TID
+    MOVI r1, 0x10
+    IADD r2, r0, r1
+    SHL r3, r2, 2
+    STG [r3], r2
+    EXIT
+"""
+
+#: Diamond: one divergent branch, reconverging before the store.
+DIAMOND_SRC = """
+.kernel diamond
+    S2R r0, SR_TID
+    SETP p0, r0, 16, LT
+    @p0 BRA then
+    IADD r1, r0, r0
+    BRA merge
+then:
+    SHL r1, r0, 1
+merge:
+    IADD r2, r1, r0
+    STG [r0], r2
+    EXIT
+"""
+
+#: Loop with a loop-carried counter and a per-iteration temporary.
+LOOP_SRC = """
+.kernel loop
+    S2R r0, SR_TID
+    MOVI r1, 0x0
+    MOVI r2, 0x4
+top:
+    LDG r3, [r0+0x100]
+    IADD r1, r1, r3
+    IADDI r2, r2, -1
+    SETP p0, r2, 0, GT
+    @p0 BRA top
+    STG [r0], r1
+    EXIT
+"""
+
+#: Barrier kernel: shared-memory exchange between warps.
+BARRIER_SRC = """
+.kernel barrier
+    S2R r0, SR_TID
+    SHL r1, r0, 2
+    STS [r1], r0
+    BAR
+    LDS r2, [r1+0x4]
+    IADD r3, r2, r0
+    STG [r1], r3
+    EXIT
+"""
+
+
+@pytest.fixture
+def straight_kernel():
+    return assemble(STRAIGHT_SRC)
+
+
+@pytest.fixture
+def diamond_kernel():
+    return assemble(DIAMOND_SRC)
+
+
+@pytest.fixture
+def loop_kernel():
+    return assemble(LOOP_SRC)
+
+
+@pytest.fixture
+def barrier_kernel():
+    return assemble(BARRIER_SRC)
+
+
+@pytest.fixture
+def baseline_config():
+    return GPUConfig.baseline()
+
+
+@pytest.fixture
+def renamed_config():
+    return GPUConfig.renamed()
+
+
+@pytest.fixture
+def shrunk_config():
+    return GPUConfig.shrunk(0.5)
+
+
+@pytest.fixture
+def small_launch():
+    """Two CTAs of two warps each."""
+    return LaunchConfig(grid_ctas=2, threads_per_cta=64, conc_ctas_per_sm=2)

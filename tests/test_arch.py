@@ -1,0 +1,136 @@
+"""GPUConfig geometry and constructor tests."""
+
+import pytest
+
+from repro.arch import BYTES_PER_WARP_REGISTER, GPUConfig
+from repro.errors import ConfigError
+
+
+class TestDefaults:
+    def test_paper_baseline_geometry(self):
+        config = GPUConfig.baseline()
+        assert config.regfile_bytes == 128 * 1024
+        assert config.total_architected_registers == 1024
+        assert config.total_physical_registers == 1024
+        assert config.num_banks == 4
+        assert config.registers_per_bank == 256
+        assert config.registers_per_subarray == 64
+        assert config.total_subarrays == 16
+
+    def test_warp_register_is_128_bytes(self):
+        assert BYTES_PER_WARP_REGISTER == 32 * 4
+
+    def test_baseline_not_underprovisioned(self):
+        assert not GPUConfig.baseline().is_underprovisioned
+
+    def test_baseline_renaming_disabled(self):
+        assert not GPUConfig.baseline().renaming_enabled
+
+    def test_two_schedulers_six_ready_warps(self):
+        config = GPUConfig.baseline()
+        assert config.num_schedulers == 2
+        assert config.ready_queue_size == 6
+
+    def test_max_warps_and_ctas(self):
+        config = GPUConfig.baseline()
+        assert config.max_warps_per_sm == 48
+        assert config.max_ctas_per_sm == 8
+        assert config.max_regs_per_thread == 63
+
+    def test_renaming_table_bits(self):
+        assert GPUConfig.baseline().renaming_table_bits == 8192
+
+
+class TestRenamed:
+    def test_renamed_enables_renaming(self):
+        assert GPUConfig.renamed().renaming_enabled
+
+    def test_renamed_keeps_full_file(self):
+        config = GPUConfig.renamed()
+        assert config.total_physical_registers == 1024
+        assert not config.is_underprovisioned
+
+    def test_renamed_accepts_overrides(self):
+        config = GPUConfig.renamed(gating_enabled=True)
+        assert config.gating_enabled
+
+
+class TestShrunk:
+    def test_half_size(self):
+        config = GPUConfig.shrunk(0.5)
+        assert config.total_physical_registers == 512
+        assert config.total_architected_registers == 1024
+        assert config.is_underprovisioned
+        assert config.renaming_enabled
+
+    def test_subarray_size_unchanged_by_shrink(self):
+        # Gating granularity is fixed by the architected geometry.
+        assert (
+            GPUConfig.shrunk(0.5).registers_per_subarray
+            == GPUConfig.baseline().registers_per_subarray
+        )
+
+    def test_shrunk_subarray_count_halves(self):
+        assert GPUConfig.shrunk(0.5).total_subarrays == 8
+
+    @pytest.mark.parametrize("fraction", [0.6, 0.7])
+    def test_intermediate_fractions(self, fraction):
+        config = GPUConfig.shrunk(fraction)
+        expected = int(1024 * fraction) // 4 * 4
+        assert config.total_physical_registers == expected
+
+    def test_full_fraction_matches_baseline_size(self):
+        assert GPUConfig.shrunk(1.0).total_physical_registers == 1024
+
+    @pytest.mark.parametrize("fraction", [0.0, -0.5, 1.5])
+    def test_invalid_fraction_rejected(self, fraction):
+        with pytest.raises(ConfigError):
+            GPUConfig.shrunk(fraction)
+
+    def test_partial_last_subarray(self):
+        config = GPUConfig.shrunk(0.6)
+        # 153 registers per bank -> ceil(153/64) = 3 subarrays.
+        assert config.physical_subarrays_per_bank == 3
+
+
+class TestValidation:
+    def test_rejects_zero_warp_size(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(warp_size=0)
+
+    def test_rejects_unaligned_regfile(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(regfile_bytes=128 * 1024 + 5)
+
+    def test_rejects_physical_larger_than_architected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(physical_regfile_bytes=256 * 1024)
+
+    def test_rejects_unaligned_physical(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(physical_regfile_bytes=1000)
+
+    def test_rejects_zero_subarrays(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(subarrays_per_bank=0)
+
+    def test_replace_creates_variant(self):
+        base = GPUConfig.baseline()
+        variant = base.replace(gating_enabled=True)
+        assert variant.gating_enabled
+        assert not base.gating_enabled
+
+
+class TestPolicyKnobs:
+    def test_default_policies(self):
+        config = GPUConfig.baseline()
+        assert config.allocation_policy == "consolidate"
+        assert config.throttle_policy == "assigned"
+
+    def test_invalid_allocation_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(allocation_policy="random")
+
+    def test_invalid_throttle_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig(throttle_policy="never")

@@ -1,0 +1,92 @@
+"""Baseline comparison flows: compiler spill and hardware-only."""
+
+from repro.arch import GPUConfig
+from repro.baselines import (
+    run_compiler_spill,
+    run_hardware_only,
+    spill_register_budget,
+)
+from repro.compiler import compile_kernel
+from repro.launch import LaunchConfig
+from repro.sim import simulate
+from repro.workloads import get_workload
+
+
+class TestSpillBudget:
+    def test_budget_formula(self):
+        workload = get_workload("hotspot", scale=0.5)
+        config = GPUConfig.baseline(regfile_bytes=64 * 1024)
+        budget = spill_register_budget(
+            workload.kernel, workload.launch, config
+        )
+        # 512 physical / (3 CTAs x 8 warps) = 21 registers.
+        assert budget == 21
+
+    def test_fitting_benchmark_not_spilled(self):
+        workload = get_workload("vectoradd", scale=0.5)
+        result = run_compiler_spill(
+            workload.kernel, workload.launch, max_ctas_per_sm_sim=1
+        )
+        assert not result.spilled
+        assert result.simulation.stats.ctas_completed >= 1
+
+    def test_pressured_benchmark_spills_and_slows(self):
+        workload = get_workload("hotspot", scale=0.5)
+        base = simulate(
+            workload.kernel.clone(), workload.launch,
+            GPUConfig.baseline(), mode="baseline", max_ctas_per_sm_sim=1,
+        )
+        spilled = run_compiler_spill(
+            workload.kernel, workload.launch, max_ctas_per_sm_sim=1
+        )
+        assert spilled.spilled
+        assert spilled.simulation.stats.cycles > base.stats.cycles
+        assert (
+            spilled.simulation.stats.memory_instructions
+            > base.stats.memory_instructions
+        )
+
+    def test_spilled_run_uses_shrunk_config(self):
+        workload = get_workload("hotspot", scale=0.5)
+        result = run_compiler_spill(
+            workload.kernel, workload.launch, max_ctas_per_sm_sim=1
+        )
+        config = result.simulation.config
+        assert config.regfile_bytes == 64 * 1024
+        assert not config.renaming_enabled
+
+
+class TestHardwareOnly:
+    def test_runs_in_redefine_mode(self):
+        workload = get_workload("matrixmul", scale=0.5)
+        result = run_hardware_only(
+            workload.kernel, workload.launch, max_ctas_per_sm_sim=1
+        )
+        assert result.mode == "redefine"
+        assert result.stats.ctas_completed >= 1
+
+    def test_saves_less_than_compiler_directed(self):
+        workload = get_workload("matrixmul", scale=0.5)
+        launch = workload.launch
+        config = GPUConfig.renamed()
+
+        hw_only = run_hardware_only(
+            workload.kernel, launch, config, max_ctas_per_sm_sim=1
+        )
+        compiled = compile_kernel(workload.kernel, launch, config)
+        ours = simulate(
+            compiled.kernel, launch, config, mode="flags",
+            threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=1,
+        )
+        assert (
+            ours.stats.max_live_registers
+            <= hw_only.stats.max_live_registers
+        )
+
+    def test_input_kernel_not_mutated(self):
+        workload = get_workload("bfs", scale=0.5)
+        before = len(workload.kernel)
+        run_hardware_only(
+            workload.kernel, workload.launch, max_ctas_per_sm_sim=1
+        )
+        assert len(workload.kernel) == before

@@ -1,0 +1,72 @@
+"""ASCII chart renderer tests."""
+
+from repro.analysis.charts import CHART_COLUMNS, bar_chart, chart_for
+from repro.analysis.tables import Table
+
+
+def make_table(rows):
+    table = Table("T", ["Name", "Value"])
+    for row in rows:
+        table.add_row(*row)
+    return table
+
+
+def test_bars_scale_with_values():
+    chart = bar_chart(make_table([("a", 10.0), ("b", 20.0)]),
+                      "Name", "Value", width=20)
+    lines = chart.splitlines()
+    a_bar = next(line for line in lines if line.startswith("a"))
+    b_bar = next(line for line in lines if line.startswith("b"))
+    assert b_bar.count("#") == 20
+    assert a_bar.count("#") == 10
+
+
+def test_non_numeric_rows_skipped():
+    chart = bar_chart(make_table([("a", 5.0), ("AVG", "-")]),
+                      "Name", "Value")
+    assert "AVG" not in chart
+
+
+def test_negative_values_draw_left_of_zero():
+    chart = bar_chart(make_table([("up", 10.0), ("down", -10.0)]),
+                      "Name", "Value", width=20)
+    assert "zero" in chart
+    down = next(
+        line for line in chart.splitlines() if line.startswith("down")
+    )
+    assert "#" in down
+
+
+def test_grouped_labels():
+    table = Table("T", ["Name", "Value", "Config"])
+    table.add_row("a", 1.0, "x")
+    table.add_row("a", 2.0, "y")
+    chart = bar_chart(table, "Name", "Value", group_column="Config")
+    assert "a/x" in chart
+    assert "a/y" in chart
+
+
+def test_empty_numeric_data():
+    chart = bar_chart(make_table([("AVG", "-")]), "Name", "Value")
+    assert "no numeric data" in chart
+
+
+def test_chart_for_known_experiment():
+    table = Table("Fig", ["Workload", "Reduction%"])
+    table.add_row("x", 40.0)
+    assert "x" in chart_for("fig10", table)
+
+
+def test_chart_for_unknown_experiment():
+    assert chart_for("table01", Table("T", ["A"])) is None
+
+
+def test_chart_for_mismatched_columns_returns_none():
+    table = Table("Fig", ["Something", "Else"])
+    table.add_row("x", 1.0)
+    assert chart_for("fig10", table) is None
+
+
+def test_every_mapping_has_label_and_value():
+    for spec in CHART_COLUMNS.values():
+        assert len(spec) in (2, 3)

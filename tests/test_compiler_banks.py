@@ -1,0 +1,42 @@
+"""Compiler bank assignment tests."""
+
+from repro.compiler.banks import bank_histogram, bank_of, operand_bank_conflicts
+from repro.isa import assemble
+
+
+def test_bank_of_is_modulo():
+    assert bank_of(0, 0, 4) == 0
+    assert bank_of(5, 0, 4) == 1
+    assert bank_of(5, 3, 4) == 0
+
+
+def test_warp_skew_shifts_banks():
+    banks = {bank_of(2, warp, 4) for warp in range(4)}
+    assert banks == {0, 1, 2, 3}
+
+
+def test_conflicts_counted_per_instruction():
+    kernel = assemble(
+        ".kernel k\nIADD r0, r1, r5\nIADD r0, r1, r2\nEXIT"
+    )
+    # r1 and r5 share bank 1; r1 and r2 do not conflict.
+    assert operand_bank_conflicts(kernel, 4) == 1
+
+
+def test_duplicate_register_not_a_conflict():
+    kernel = assemble(".kernel k\nIADD r0, r1, r1\nEXIT")
+    assert operand_bank_conflicts(kernel, 4) == 0
+
+
+def test_histogram_covers_all_registers():
+    kernel = assemble(
+        ".kernel k\nMOVI r0, 1\nMOVI r1, 1\nMOVI r4, 1\nEXIT"
+    )
+    histogram = bank_histogram(kernel, 4)
+    assert sum(histogram) == 3
+    assert histogram[0] == 2  # r0 and r4
+
+
+def test_histogram_bank_count():
+    kernel = assemble(".kernel k\nMOVI r0, 1\nEXIT")
+    assert len(bank_histogram(kernel, 8)) == 8

@@ -1,0 +1,121 @@
+"""Control-flow graph construction tests."""
+
+import pytest
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.errors import CfgError
+from repro.isa import Instruction, Kernel, Opcode, assemble
+
+
+def cfg_of(src):
+    return ControlFlowGraph(assemble(src))
+
+
+class TestStraightLine:
+    def test_single_block(self, straight_kernel):
+        cfg = ControlFlowGraph(straight_kernel)
+        assert len(cfg) == 1
+        block = cfg.entry
+        assert block.start == 0
+        assert block.end == len(straight_kernel)
+        assert block.successors == []
+
+    def test_block_of_pc(self, straight_kernel):
+        cfg = ControlFlowGraph(straight_kernel)
+        for pc in range(len(straight_kernel)):
+            assert cfg.block_of(pc) is cfg.entry
+
+
+class TestDiamond:
+    def test_four_blocks(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        assert len(cfg) == 4
+
+    def test_entry_successors_ordered_target_first(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        entry = cfg.entry
+        # conditional branch: [target, fallthrough]
+        assert len(entry.successors) == 2
+        target_block = cfg.block_of(
+            diamond_kernel.instructions[entry.end - 1].target_pc
+        )
+        assert entry.successors[0] == target_block.index
+
+    def test_merge_has_two_predecessors(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        merge = cfg.block_of(diamond_kernel.labels["merge"])
+        assert len(merge.predecessors) == 2
+
+    def test_no_back_edges(self, diamond_kernel):
+        assert ControlFlowGraph(diamond_kernel).back_edges() == []
+
+
+class TestLoop:
+    def test_back_edge_detected(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        edges = cfg.back_edges()
+        assert len(edges) == 1
+        source, target = edges[0]
+        assert cfg.blocks[target].start == loop_kernel.labels["top"]
+        assert source >= target
+
+    def test_loop_block_self_predecessor_via_backedge(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        header = cfg.block_of(loop_kernel.labels["top"])
+        body_end = cfg.blocks[cfg.back_edges()[0][0]]
+        assert header.index in body_end.successors
+
+
+class TestEdgeCases:
+    def test_unconditional_branch_has_single_successor(self):
+        cfg = cfg_of(
+            ".kernel k\nBRA end\nMOVI r0, 1\nend:\nEXIT"
+        )
+        assert cfg.entry.successors == [cfg.block_of(2).index]
+
+    def test_exit_terminates_block(self):
+        cfg = cfg_of(".kernel k\nMOVI r0, 1\nEXIT")
+        assert cfg.exit_blocks() == [cfg.entry]
+
+    def test_multiple_exits(self):
+        cfg = cfg_of(
+            ".kernel k\n"
+            "S2R r0, SR_TID\n"
+            "SETP p0, r0, 4, LT\n"
+            "@p0 BRA other\n"
+            "EXIT\n"
+            "other:\n"
+            "EXIT\n"
+        )
+        assert len(cfg.exit_blocks()) == 2
+
+    def test_reachable_blocks_excludes_dead_code(self):
+        cfg = cfg_of(
+            ".kernel k\nBRA end\ndead:\nMOVI r0, 1\nend:\nEXIT"
+        )
+        dead = cfg.block_of(1).index
+        assert dead not in cfg.reachable_blocks()
+
+    def test_rejects_metadata(self):
+        kernel = Kernel("k")
+        kernel.instructions = [
+            Instruction(Opcode.PIR),
+            Instruction(Opcode.EXIT),
+        ]
+        kernel.finalize()
+        with pytest.raises(CfgError):
+            ControlFlowGraph(kernel)
+
+    def test_instructions_of(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        for block in cfg.blocks:
+            insts = cfg.instructions_of(block)
+            assert len(insts) == len(block)
+            assert insts[0].pc == block.start
+
+    def test_blocks_partition_all_pcs(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        covered = sorted(
+            pc for block in cfg.blocks for pc in block.pcs()
+        )
+        assert covered == list(range(len(loop_kernel)))

@@ -1,0 +1,142 @@
+"""Postdominator and reconvergence analysis tests."""
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.dominators import PostDominators
+from repro.isa import assemble
+
+
+def analyze(src):
+    cfg = ControlFlowGraph(assemble(src))
+    return cfg, PostDominators(cfg)
+
+
+DIAMOND = """
+.kernel k
+    S2R r0, SR_TID
+    SETP p0, r0, 4, LT
+    @p0 BRA then
+    MOVI r1, 1
+    BRA merge
+then:
+    MOVI r1, 2
+merge:
+    STG [r0], r1
+    EXIT
+"""
+
+
+class TestDiamond:
+    def test_reconvergence_is_merge_block(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        pdom = PostDominators(cfg)
+        merge = cfg.block_of(diamond_kernel.labels["merge"]).index
+        assert pdom.reconvergence_block(cfg.entry.index) == merge
+
+    def test_merge_postdominates_everything(self):
+        cfg, pdom = analyze(DIAMOND)
+        merge = cfg.block_of(cfg.kernel.labels["merge"]).index
+        for block in cfg.blocks:
+            assert pdom.postdominates(merge, block.index) or \
+                block.index == merge
+
+    def test_sides_not_on_spine(self):
+        cfg, pdom = analyze(DIAMOND)
+        spine = pdom.unconditional_blocks()
+        then_block = cfg.block_of(cfg.kernel.labels["then"]).index
+        assert then_block not in spine
+        assert cfg.entry.index in spine
+        merge = cfg.block_of(cfg.kernel.labels["merge"]).index
+        assert merge in spine
+
+    def test_hoist_target_of_side_is_merge(self):
+        cfg, pdom = analyze(DIAMOND)
+        then_block = cfg.block_of(cfg.kernel.labels["then"]).index
+        merge = cfg.block_of(cfg.kernel.labels["merge"]).index
+        assert pdom.hoist_target(then_block) == merge
+
+    def test_hoist_target_of_spine_block_is_itself(self):
+        cfg, pdom = analyze(DIAMOND)
+        assert pdom.hoist_target(cfg.entry.index) == cfg.entry.index
+
+
+class TestLoop:
+    def test_loop_body_on_spine(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        pdom = PostDominators(cfg)
+        header = cfg.block_of(loop_kernel.labels["top"]).index
+        # A do-while body always executes, so it postdominates entry.
+        assert header in pdom.unconditional_blocks()
+
+    def test_loop_reconvergence_is_exit_block(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        pdom = PostDominators(cfg)
+        header = cfg.block_of(loop_kernel.labels["top"]).index
+        reconv = pdom.reconvergence_block(header)
+        assert cfg.blocks[reconv].start > loop_kernel.labels["top"]
+
+
+class TestNested:
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    SETP p0, r0, 16, LT
+    @p0 BRA outer_then
+    MOVI r1, 1
+    BRA outer_merge
+outer_then:
+    SETP p1, r0, 8, LT
+    @p1 BRA inner_then
+    MOVI r1, 2
+    BRA inner_merge
+inner_then:
+    MOVI r1, 3
+inner_merge:
+    IADDI r1, r1, 1
+outer_merge:
+    STG [r0], r1
+    EXIT
+"""
+
+    def test_inner_reconverges_before_outer(self):
+        cfg, pdom = analyze(self.SRC)
+        labels = cfg.kernel.labels
+        outer_then = cfg.block_of(labels["outer_then"]).index
+        inner_merge = cfg.block_of(labels["inner_merge"]).index
+        outer_merge = cfg.block_of(labels["outer_merge"]).index
+        assert pdom.reconvergence_block(outer_then) == inner_merge
+        assert pdom.reconvergence_block(cfg.entry.index) == outer_merge
+
+    def test_inner_merge_hoists_to_outer_merge(self):
+        cfg, pdom = analyze(self.SRC)
+        labels = cfg.kernel.labels
+        inner_merge = cfg.block_of(labels["inner_merge"]).index
+        outer_merge = cfg.block_of(labels["outer_merge"]).index
+        # inner_merge is still inside the outer divergence, so releases
+        # there must hoist out to outer_merge.
+        assert pdom.hoist_target(inner_merge) == outer_merge
+
+    def test_ipdom_of_exit_block_is_none(self):
+        cfg, pdom = analyze(self.SRC)
+        exit_block = cfg.exit_blocks()[0]
+        assert pdom.ipdom(exit_block.index) is None
+
+
+class TestMultiExit:
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    SETP p0, r0, 4, LT
+    @p0 BRA other
+    EXIT
+other:
+    EXIT
+"""
+
+    def test_no_reconvergence_when_both_sides_exit(self):
+        cfg, pdom = analyze(self.SRC)
+        assert pdom.reconvergence_block(cfg.entry.index) is None
+
+    def test_hoist_target_none_when_paths_exit(self):
+        cfg, pdom = analyze(self.SRC)
+        other = cfg.block_of(cfg.kernel.labels["other"]).index
+        assert pdom.hoist_target(other) is None

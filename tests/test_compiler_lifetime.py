@@ -1,0 +1,116 @@
+"""Static value-lifetime profiling tests."""
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.lifetime import profile_registers
+from repro.compiler.release import compute_release_plan
+from repro.isa import assemble
+
+
+def profiles_of(kernel):
+    cfg = ControlFlowGraph(kernel)
+    plan = compute_release_plan(cfg)
+    return profile_registers(cfg, plan)
+
+
+class TestInstances:
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, 1
+    IADD r1, r1, r0
+    MOVI r2, 2
+    IADD r2, r2, r1
+    MOVI r2, 3
+    IADD r0, r2, r0
+    STG [r0], r1
+    EXIT
+"""
+
+    def test_instance_counts(self):
+        profiles = profiles_of(assemble(self.SRC))
+        assert profiles[0].num_instances == 2  # S2R + IADD redefine
+        assert profiles[2].num_instances == 3
+
+    def test_lifetime_counts_match_instances(self):
+        profiles = profiles_of(assemble(self.SRC))
+        for profile in profiles.values():
+            assert len(profile.lifetimes) == profile.num_instances
+
+
+class TestLongLived:
+    def test_whole_kernel_register_is_long_lived(self):
+        src = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, 1
+    IADD r2, r1, r1
+    IADD r2, r2, r2
+    IADD r2, r2, r2
+    STG [r0], r2
+    EXIT
+"""
+        kernel = assemble(src)
+        profiles = profiles_of(kernel)
+        # r0 (tid) lives from pc 0 to the store near the end.
+        assert profiles[0].is_long_lived(len(kernel.instructions))
+
+    def test_short_lived_register_is_not(self):
+        src = """
+.kernel k
+    MOVI r0, 1
+    IADD r1, r0, r0
+    MOVI r2, 2
+    MOVI r3, 3
+    IADD r2, r2, r3
+    IADD r1, r1, r2
+    STG [r1], r2
+    EXIT
+"""
+        profiles = profiles_of(assemble(src))
+        length = 8
+        assert not profiles[0].is_long_lived(length)
+
+    def test_unreleased_register_is_long_lived(self, loop_kernel):
+        profiles = profiles_of(loop_kernel)
+        # An unreleased register is long-lived regardless of distance.
+        for profile in profiles.values():
+            if profile.ever_unreleased:
+                assert profile.is_long_lived(10_000)
+
+
+class TestExemptionScore:
+    def test_longer_lifetime_scores_higher(self, straight_kernel):
+        profiles = profiles_of(straight_kernel)
+        length = len(straight_kernel.instructions)
+        # r0 lives longest; r1 dies quickly.
+        assert (
+            profiles[0].exemption_score(length)
+            > profiles[1].exemption_score(length)
+        )
+
+    def test_mean_and_max(self):
+        src = """
+.kernel k
+    MOVI r0, 1
+    IADD r1, r0, r0
+    MOVI r0, 2
+    STG [r1], r0
+    EXIT
+"""
+        profiles = profiles_of(assemble(src))
+        assert profiles[0].max_lifetime >= profiles[0].mean_lifetime
+
+    def test_empty_profile_defaults(self):
+        from repro.compiler.lifetime import RegisterProfile
+
+        profile = RegisterProfile(reg=0)
+        assert profile.max_lifetime == 0
+        assert profile.mean_lifetime == 0.0
+
+
+class TestReleaseBoundedLifetimes:
+    def test_release_shortens_lifetime_estimate(self, loop_kernel):
+        profiles = profiles_of(loop_kernel)
+        length = len(loop_kernel.instructions)
+        # r3 is released at its read in the loop body: short lifetime.
+        assert profiles[3].max_lifetime < length // 2

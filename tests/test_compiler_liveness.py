@@ -1,0 +1,132 @@
+"""Dataflow liveness analysis tests."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.liveness import LivenessAnalysis
+from repro.isa import assemble
+
+
+def analyze(src):
+    cfg = ControlFlowGraph(assemble(src))
+    return cfg, LivenessAnalysis(cfg)
+
+
+class TestStraightLine:
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, 4
+    IADD r2, r0, r1
+    STG [r0], r2
+    EXIT
+"""
+
+    def test_live_out_after_definition(self):
+        _, live = analyze(self.SRC)
+        assert 0 in live.live_out(0)
+        assert 1 in live.live_out(1)
+
+    def test_dead_after_last_use(self):
+        _, live = analyze(self.SRC)
+        # r1's last use is the IADD at pc 2.
+        assert 1 not in live.live_out(2)
+        # r0 and r2 die at the store.
+        assert live.live_out(3) == set()
+
+    def test_live_in_of_user(self):
+        _, live = analyze(self.SRC)
+        assert live.live_in(2) == {0, 1}
+
+    def test_dead_source_operands(self):
+        _, live = analyze(self.SRC)
+        # IADD r2, r0, r1: r1 dies here, r0 lives on (store address).
+        assert live.dead_source_operands(2) == (False, True)
+        # STG [r0], r2: both die at the read.
+        assert live.dead_source_operands(3) == (True, True)
+
+
+class TestSameRegisterDstSrc:
+    SRC = """
+.kernel k
+    MOVI r0, 1
+    IADD r0, r0, r0
+    STG [r0], r0
+    EXIT
+"""
+
+    def test_src_equal_dst_not_releasable(self):
+        _, live = analyze(self.SRC)
+        # IADD r0, r0, r0: storage is reused in place, no release.
+        assert live.dead_source_operands(1) == (False, False)
+
+    def test_duplicate_source_released_once(self):
+        _, live = analyze(self.SRC)
+        flags = live.dead_source_operands(2)
+        assert sum(flags) == 1
+        assert flags == (False, True)
+
+
+class TestDiamond:
+    def test_branch_keeps_both_paths_uses_alive(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        live = LivenessAnalysis(cfg)
+        # r0 is used on both sides and at the merge: live out of entry.
+        branch_pc = cfg.entry.end - 1
+        assert 0 in live.live_out(branch_pc)
+
+    def test_block_level_sets(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        live = LivenessAnalysis(cfg)
+        merge = cfg.block_of(diamond_kernel.labels["merge"])
+        assert live.block_live_in(merge.index) == {0, 1}
+        assert live.block_live_out(merge.index) == set()
+
+
+class TestLoop:
+    def test_loop_carried_register_live_around_backedge(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        live = LivenessAnalysis(cfg)
+        header = cfg.block_of(loop_kernel.labels["top"])
+        # accumulator r1 and counter r2 are loop-carried.
+        assert {1, 2} <= live.block_live_in(header.index)
+
+    def test_per_iteration_temp_dead_at_header(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        live = LivenessAnalysis(cfg)
+        header = cfg.block_of(loop_kernel.labels["top"])
+        # r3 is loaded fresh each iteration.
+        assert 3 not in live.block_live_in(header.index)
+
+    def test_counter_not_dead_at_its_loop_read(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        live = LivenessAnalysis(cfg)
+        # IADDI r2, r2, -1 reads r2 but r2 survives the back edge.
+        iaddi_pc = next(
+            pc for pc, inst in enumerate(loop_kernel.instructions)
+            if inst.opcode.value == "IADDI"
+        )
+        assert live.dead_source_operands(iaddi_pc) == (False,)
+
+
+class TestMaskAccessors:
+    def test_mask_and_set_agree(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        live = LivenessAnalysis(cfg)
+        for pc in range(len(diamond_kernel)):
+            mask = live.live_out_mask(pc)
+            as_set = live.live_out(pc)
+            assert as_set == {
+                reg for reg in range(8) if (mask >> reg) & 1
+            }
+
+    @given(st.integers(0, 2**20 - 1))
+    def test_to_set_roundtrip(self, mask):
+        from repro.compiler.liveness import _to_set
+
+        regs = _to_set(mask)
+        rebuilt = 0
+        for reg in regs:
+            rebuilt |= 1 << reg
+        assert rebuilt == mask

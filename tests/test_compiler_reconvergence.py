@@ -1,0 +1,82 @@
+"""Reconvergence annotation tests."""
+
+import pytest
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.reconvergence import (
+    annotate_reconvergence,
+    ensure_reconvergence,
+)
+from repro.errors import CompilerError
+from repro.isa import Instruction, Kernel, Opcode, assemble
+
+
+def test_annotates_diamond(diamond_kernel):
+    cfg = ControlFlowGraph(diamond_kernel)
+    annotate_reconvergence(cfg)
+    branch = next(
+        inst for inst in diamond_kernel.instructions
+        if inst.is_conditional_branch
+    )
+    assert branch.reconv_pc == diamond_kernel.labels["merge"]
+
+
+def test_loop_branch_reconverges_after_loop(loop_kernel):
+    cfg = ControlFlowGraph(loop_kernel)
+    annotate_reconvergence(cfg)
+    branch = next(
+        inst for inst in loop_kernel.instructions
+        if inst.is_conditional_branch
+    )
+    assert branch.reconv_pc == branch.pc + 1
+
+
+def test_sentinel_when_paths_exit():
+    kernel = assemble(
+        ".kernel k\n"
+        "S2R r0, SR_TID\n"
+        "SETP p0, r0, 4, LT\n"
+        "@p0 BRA other\n"
+        "EXIT\n"
+        "other:\n"
+        "EXIT\n"
+    )
+    annotate_reconvergence(ControlFlowGraph(kernel))
+    branch = kernel.instructions[2]
+    assert branch.reconv_pc == len(kernel.instructions)
+
+
+def test_ensure_is_idempotent(diamond_kernel):
+    ensure_reconvergence(diamond_kernel)
+    first = [
+        inst.reconv_pc for inst in diamond_kernel.instructions
+        if inst.is_conditional_branch
+    ]
+    ensure_reconvergence(diamond_kernel)
+    second = [
+        inst.reconv_pc for inst in diamond_kernel.instructions
+        if inst.is_conditional_branch
+    ]
+    assert first == second
+
+
+def test_ensure_noop_without_branches(straight_kernel):
+    ensure_reconvergence(straight_kernel)  # must not raise
+
+
+def test_ensure_rejects_unannotated_metadata_kernel():
+    kernel = Kernel("k")
+    kernel.labels["t"] = 2
+    kernel.instructions = [
+        Instruction(Opcode.PIR),
+        Instruction(
+            Opcode.BRA, target="t",
+            guard=__import__(
+                "repro.isa.instruction", fromlist=["PredGuard"]
+            ).PredGuard(0),
+        ),
+        Instruction(Opcode.EXIT),
+    ]
+    kernel.finalize()
+    with pytest.raises(CompilerError):
+        ensure_reconvergence(kernel)

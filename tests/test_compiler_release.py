@@ -1,0 +1,199 @@
+"""Release-point computation tests: the five Fig. 4 cases."""
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.release import compute_release_plan
+from repro.isa import assemble
+
+
+def plan_of(src):
+    cfg = ControlFlowGraph(assemble(src))
+    return cfg, compute_release_plan(cfg)
+
+
+def pir_released_regs(plan):
+    regs = set()
+    for pc, flags in plan.pir_flags.items():
+        inst = plan.kernel.instructions[pc]
+        regs.update(r for r, f in zip(inst.srcs, flags) if f)
+    return regs
+
+
+def pbr_released_regs(plan):
+    return {reg for regs in plan.pbr_regs.values() for reg in regs}
+
+
+class TestIntraBlock:
+    """Fig. 4a: release at the last read within a basic block."""
+
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, 4
+    IADD r2, r0, r1
+    STG [r0], r2
+    EXIT
+"""
+
+    def test_release_attached_to_last_read(self):
+        _, plan = plan_of(self.SRC)
+        assert plan.pir_flags[2] == (False, True)  # r1 dies at IADD
+        assert plan.pir_flags[3] == (True, True)  # r0, r2 die at STG
+
+    def test_no_pbr_needed(self):
+        _, plan = plan_of(self.SRC)
+        assert plan.pbr_regs == {}
+
+    def test_everything_released(self):
+        _, plan = plan_of(self.SRC)
+        assert plan.unreleased == set()
+
+
+class TestDivergedFlows:
+    """Fig. 4b/c: deaths inside diverged paths hoist to reconvergence."""
+
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r3, 7
+    SETP p0, r0, 16, LT
+    @p0 BRA then
+    IADD r1, r0, r3
+    BRA merge
+then:
+    SHL r1, r3, 1
+merge:
+    STG [r0], r1
+    EXIT
+"""
+
+    def test_r3_not_released_inside_paths(self):
+        cfg, plan = plan_of(self.SRC)
+        then_start = cfg.kernel.labels["then"]
+        for pc, flags in plan.pir_flags.items():
+            inst = cfg.kernel.instructions[pc]
+            if 3 in inst.srcs:
+                # any pir release of r3 would be inside a diverged path
+                released = [
+                    r for r, f in zip(inst.srcs, flags) if f and r == 3
+                ]
+                assert not released, f"r3 released at pc {pc}"
+        del then_start
+
+    def test_r3_released_by_pbr_at_merge(self):
+        cfg, plan = plan_of(self.SRC)
+        merge = cfg.block_of(cfg.kernel.labels["merge"]).index
+        assert 3 in plan.pbr_regs.get(merge, ())
+
+    def test_spine_registers_still_use_pir(self):
+        cfg, plan = plan_of(self.SRC)
+        # r1 dies at the merge store, which is on the spine.
+        store_pc = cfg.kernel.labels["merge"]
+        assert plan.pir_flags[store_pc][1] is True
+
+
+class TestSiblingRedefinition:
+    """A hoisted release is suppressed if the sibling path redefines
+    the register and keeps it live past the reconvergence point."""
+
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, 7
+    SETP p0, r0, 16, LT
+    @p0 BRA then
+    IADD r2, r0, r1
+    BRA merge
+then:
+    MOVI r1, 9
+    MOVI r2, 1
+merge:
+    IADD r3, r2, r1
+    STG [r0], r3
+    EXIT
+"""
+
+    def test_live_at_merge_not_released_there(self):
+        cfg, plan = plan_of(self.SRC)
+        merge = cfg.block_of(cfg.kernel.labels["merge"]).index
+        # r1 is redefined on the then-path and read at merge: any
+        # hoisted release from the else-path death must be suppressed.
+        assert 1 not in plan.pbr_regs.get(merge, ())
+        assert plan.suppressed >= 1
+
+
+class TestLoopCarried:
+    """Fig. 4d: loop-carried registers release after the loop."""
+
+    def test_counter_released_at_loop_exit(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        exit_block = cfg.block_of(loop_kernel.labels["top"]).index + 1
+        regs = plan.pbr_regs.get(exit_block, ())
+        assert 2 in regs  # the counter
+
+    def test_counter_has_no_pir_release(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        assert 2 not in pir_released_regs(plan)
+
+
+class TestLoopLocal:
+    """Fig. 4e: per-iteration temporaries release inside the body."""
+
+    def test_temp_released_in_body(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        # r3 (loaded each iteration) dies at its IADD read in the body.
+        iadd_pc = next(
+            pc for pc, inst in enumerate(loop_kernel.instructions)
+            if inst.opcode.value == "IADD"
+        )
+        assert plan.pir_flags[iadd_pc] == (False, True)
+
+
+class TestNoLoopHeaderPbr:
+    def test_loop_header_gets_no_edge_death_pbr(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        header = cfg.block_of(loop_kernel.labels["top"]).index
+        assert header not in plan.pbr_regs
+
+
+class TestPlanQueries:
+    def test_released_registers_union(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        released = plan.released_registers()
+        assert released | plan.unreleased == loop_kernel.registers_used()
+
+    def test_restrict_to_filters_flags(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        restricted = plan.restrict_to({3})
+        assert pir_released_regs(restricted) <= {3}
+        assert pbr_released_regs(restricted) <= {3}
+        assert 2 in restricted.unreleased
+
+    def test_mean_pbr_registers(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        plan = compute_release_plan(cfg)
+        if plan.pbr_regs:
+            assert plan.mean_pbr_registers() >= 1.0
+
+    def test_site_counts(self, straight_kernel):
+        cfg = ControlFlowGraph(straight_kernel)
+        plan = compute_release_plan(cfg)
+        assert plan.pir_site_count() >= 1
+        assert plan.pbr_site_count() == plan.mean_pbr_registers() * len(
+            plan.pbr_regs
+        )
+
+
+class TestEdgeReleaseToggle:
+    def test_disabling_edge_releases_drops_loop_pbr(self, loop_kernel):
+        cfg = ControlFlowGraph(loop_kernel)
+        with_edges = compute_release_plan(cfg)
+        without = compute_release_plan(cfg, edge_releases=False)
+        assert with_edges.pbr_site_count() > without.pbr_site_count()
+        # The loop counter is never released without the edge pass.
+        assert 2 in without.unreleased

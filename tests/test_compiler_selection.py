@@ -1,0 +1,137 @@
+"""Renaming-candidate selection and renumbering tests (Section 7.1)."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.lifetime import profile_registers
+from repro.compiler.release import compute_release_plan
+from repro.compiler.selection import (
+    apply_renumbering,
+    select_renaming_candidates,
+    unconstrained_table_bytes,
+)
+from repro.isa import KernelBuilder, Special
+from repro.launch import LaunchConfig
+from repro.workloads import get_workload
+
+
+def select(kernel, launch, config):
+    cfg = ControlFlowGraph(kernel)
+    plan = compute_release_plan(cfg)
+    profiles = profile_registers(cfg, plan)
+    return select_renaming_candidates(kernel, launch, config, profiles)
+
+
+def build_wide_kernel(num_regs: int):
+    """A kernel with num_regs registers: r0 long-lived, rest short."""
+    b = KernelBuilder("wide")
+    b.s2r(0, Special.TID)
+    for reg in range(1, num_regs):
+        b.iadd(reg, 0, 0)
+        b.stg(addr=0, value=reg)
+    b.stg(addr=0, value=0)
+    b.exit()
+    return b.build()
+
+
+class TestCapacity:
+    def test_all_renamed_when_table_fits(self):
+        kernel = build_wide_kernel(10)
+        launch = LaunchConfig(8, 64, conc_ctas_per_sm=2)  # 4 warps
+        result = select(kernel, launch, GPUConfig.renamed())
+        assert result.num_exempt == 0
+        assert result.threshold == 0
+        assert result.num_renamed == 10
+
+    def test_exemption_under_pressure(self):
+        kernel = build_wide_kernel(20)
+        # 48 resident warps -> 8192 bits / (10*48) = 17 renameable.
+        launch = LaunchConfig(64, 256, conc_ctas_per_sm=6)
+        result = select(kernel, launch, GPUConfig.renamed())
+        assert result.num_renamed == 17
+        assert result.num_exempt == 3
+        assert result.threshold == 3
+
+    def test_mum_exempts_two_of_nineteen(self):
+        workload = get_workload("mum")
+        result = select(
+            workload.kernel.clone(), workload.launch, GPUConfig.renamed()
+        )
+        assert result.num_exempt == 2
+
+    def test_heartwall_exempts_four_of_twentynine(self):
+        workload = get_workload("heartwall")
+        result = select(
+            workload.kernel.clone(), workload.launch, GPUConfig.renamed()
+        )
+        assert result.num_exempt == 4
+
+    def test_table_bytes_used_within_budget(self):
+        kernel = build_wide_kernel(20)
+        launch = LaunchConfig(64, 256, conc_ctas_per_sm=6)
+        config = GPUConfig.renamed()
+        result = select(kernel, launch, config)
+        assert result.table_bytes_used <= config.renaming_table_bytes
+
+    def test_unconstrained_bytes_formula(self):
+        kernel = build_wide_kernel(20)
+        launch = LaunchConfig(64, 256, conc_ctas_per_sm=6)
+        expected = (48 * 20 * 10 + 7) // 8
+        assert unconstrained_table_bytes(
+            kernel, launch, GPUConfig.renamed()
+        ) == expected
+
+
+class TestExemptChoice:
+    def test_long_lived_register_exempted_first(self):
+        kernel = build_wide_kernel(20)
+        launch = LaunchConfig(64, 256, conc_ctas_per_sm=6)
+        result = select(kernel, launch, GPUConfig.renamed())
+        # r0 lives the whole kernel: it must be among the exempted and
+        # renumbered to a low id.
+        assert result.renumbering[0] < result.threshold
+
+
+class TestRenumbering:
+    def test_exempt_get_lowest_ids(self):
+        kernel = build_wide_kernel(20)
+        launch = LaunchConfig(64, 256, conc_ctas_per_sm=6)
+        result = select(kernel, launch, GPUConfig.renamed())
+        exempt_new = sorted(result.exempt)
+        assert exempt_new == list(range(result.threshold))
+        assert sorted(result.renamed) == list(
+            range(result.threshold, 20)
+        )
+
+    def test_renumbering_is_a_permutation(self):
+        kernel = build_wide_kernel(20)
+        launch = LaunchConfig(64, 256, conc_ctas_per_sm=6)
+        result = select(kernel, launch, GPUConfig.renamed())
+        values = sorted(result.renumbering.values())
+        assert values == list(range(20))
+
+    def test_apply_renumbering_rewrites_kernel(self):
+        kernel = build_wide_kernel(5)
+        mapping = {0: 4, 1: 0, 2: 1, 3: 2, 4: 3}
+        apply_renumbering(kernel, mapping)
+        assert kernel.registers_used() == {0, 1, 2, 3, 4}
+        assert kernel.instructions[0].dst == 4  # S2R wrote old r0
+
+    def test_identity_renumbering_is_noop(self):
+        kernel = build_wide_kernel(3)
+        before = [str(inst) for inst in kernel.instructions]
+        apply_renumbering(kernel, {0: 0, 1: 1, 2: 2})
+        assert [str(inst) for inst in kernel.instructions] == before
+
+
+class TestErrors:
+    def test_missing_profiles_rejected(self):
+        from repro.errors import CompilerError
+
+        kernel = build_wide_kernel(4)
+        launch = LaunchConfig(8, 64, conc_ctas_per_sm=2)
+        with pytest.raises(CompilerError):
+            select_renaming_candidates(
+                kernel, launch, GPUConfig.renamed(), profiles={}
+            )

@@ -1,0 +1,122 @@
+"""Static release-plan validator tests."""
+
+import pytest
+
+from repro.compiler.cfg import ControlFlowGraph
+from repro.compiler.release import ReleasePlan, compute_release_plan
+from repro.compiler.validate import validate_release_plan
+from repro.errors import CompilerError
+from repro.isa import assemble
+from repro.workloads import all_workload_names, get_workload
+
+
+def plan_and_cfg(kernel):
+    cfg = ControlFlowGraph(kernel)
+    return cfg, compute_release_plan(cfg)
+
+
+class TestAcceptsSoundPlans:
+    def test_fixture_kernels(self, straight_kernel, diamond_kernel,
+                             loop_kernel):
+        for kernel in (straight_kernel, diamond_kernel, loop_kernel):
+            cfg, plan = plan_and_cfg(kernel)
+            validate_release_plan(cfg, plan)
+
+    @pytest.mark.parametrize("name", all_workload_names())
+    def test_all_workload_plans_are_sound(self, name):
+        kernel = get_workload(name).kernel
+        cfg, plan = plan_and_cfg(kernel.clone())
+        validate_release_plan(cfg, plan)
+
+
+class TestRejectsUnsoundPlans:
+    SRC = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, 4
+    IADD r2, r0, r1
+    IADD r2, r2, r1
+    STG [r0], r2
+    EXIT
+"""
+
+    def test_release_of_live_register_rejected(self):
+        kernel = assemble(self.SRC)
+        cfg = ControlFlowGraph(kernel)
+        # r1 is read again at pc 3: releasing it at pc 2 is premature.
+        plan = ReleasePlan(kernel=kernel,
+                           pir_flags={2: (False, True)})
+        with pytest.raises(CompilerError, match="live-out"):
+            validate_release_plan(cfg, plan)
+
+    def test_release_of_inplace_redefined_register_rejected(self):
+        kernel = assemble(
+            ".kernel k\nMOVI r0, 1\nIADD r0, r0, r0\nSTG [r0], r0\nEXIT"
+        )
+        cfg = ControlFlowGraph(kernel)
+        plan = ReleasePlan(kernel=kernel,
+                           pir_flags={1: (True, False)})
+        with pytest.raises(CompilerError):
+            validate_release_plan(cfg, plan)
+
+    def test_pir_inside_diverged_flow_rejected(self):
+        src = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r3, 7
+    SETP p0, r0, 16, LT
+    @p0 BRA then
+    IADD r1, r0, r3
+    BRA merge
+then:
+    SHL r1, r3, 1
+merge:
+    STG [r0], r1
+    EXIT
+"""
+        kernel = assemble(src)
+        cfg = ControlFlowGraph(kernel)
+        # Releasing r3 at its read in the else path would corrupt the
+        # then path of a diverged warp.
+        else_pc = 4
+        plan = ReleasePlan(kernel=kernel,
+                           pir_flags={else_pc: (False, True)})
+        with pytest.raises(CompilerError, match="spine"):
+            validate_release_plan(cfg, plan)
+
+    def test_pbr_of_live_register_rejected(self, diamond_kernel):
+        cfg = ControlFlowGraph(diamond_kernel)
+        merge = cfg.block_of(diamond_kernel.labels["merge"]).index
+        # r1 is read at the merge: a pbr release there is unsound.
+        plan = ReleasePlan(kernel=diamond_kernel,
+                           pbr_regs={merge: (1,)})
+        with pytest.raises(CompilerError, match="live on block entry"):
+            validate_release_plan(cfg, plan)
+
+    def test_double_release_rejected(self):
+        kernel = assemble(
+            ".kernel k\n"
+            "MOVI r1, 1\n"
+            "IADD r2, r1, r1\n"
+            "IADD r3, r2, r2\n"
+            "STG [r3], r3\n"
+            "EXIT\n"
+        )
+        cfg = ControlFlowGraph(kernel)
+        # IADD r2, r1, r1: flagging both operands releases r1 twice.
+        plan = ReleasePlan(kernel=kernel, pir_flags={1: (True, True)})
+        with pytest.raises(CompilerError, match="twice"):
+            validate_release_plan(cfg, plan)
+
+    def test_arity_mismatch_rejected(self, straight_kernel):
+        cfg = ControlFlowGraph(straight_kernel)
+        plan = ReleasePlan(kernel=straight_kernel,
+                           pir_flags={2: (True,)})  # IADD has 2 srcs
+        with pytest.raises(CompilerError, match="arity"):
+            validate_release_plan(cfg, plan)
+
+    def test_kernel_mismatch_rejected(self, straight_kernel, loop_kernel):
+        cfg = ControlFlowGraph(straight_kernel)
+        plan = ReleasePlan(kernel=loop_kernel)
+        with pytest.raises(CompilerError, match="mismatch"):
+            validate_release_plan(cfg, plan)

@@ -1,0 +1,136 @@
+"""Cross-cutting integration tests."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.compiler import compile_kernel
+from repro.launch import LaunchConfig
+from repro.sim import simulate
+from repro.sim.core import SMCore
+from repro.workloads import get_workload
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_stats(self):
+        workload = get_workload("reduction", scale=0.5)
+        config = GPUConfig.shrunk(0.5, gating_enabled=True)
+
+        def run():
+            compiled = compile_kernel(
+                workload.kernel, workload.launch, config
+            )
+            return simulate(
+                compiled.kernel, workload.launch, config, mode="flags",
+                threshold=compiled.renaming_threshold,
+                max_ctas_per_sm_sim=2,
+            ).stats
+
+        first, second = run(), run()
+        for field in ("cycles", "instructions", "rf_reads", "rf_writes",
+                      "max_live_registers", "pir_decoded", "pbr_decoded",
+                      "registers_allocated_events", "subarray_wakeups"):
+            assert getattr(first, field) == getattr(second, field), field
+
+
+class TestCtaTurnover:
+    def test_warp_slots_recycle_across_waves(self):
+        """More CTAs than residency: slots and registers are reused
+        wave after wave with full cleanup in between."""
+        workload = get_workload("matrixmul", scale=0.25)
+        config = GPUConfig.renamed()
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        core = SMCore(config, compiled.kernel, workload.launch,
+                      mode="flags",
+                      threshold=compiled.renaming_threshold)
+        core.cta_queue = list(range(12))  # 2 waves of 6
+        core.run()
+        assert core.stats.ctas_completed == 12
+        assert core.regfile.live_count == 0
+        assert core.regfile.free_count == core.regfile.total
+        assert len(core._free_warp_slots) == config.max_warps_per_sm
+
+
+class TestCombinedMechanisms:
+    def test_shrink_gating_throttle_spill_coexist(self):
+        """Every proposed mechanism active at once on a pressured
+        kernel: must complete with conserved registers."""
+        from repro.isa import KernelBuilder, Special
+
+        b = KernelBuilder("pressure")
+        b.s2r(0, Special.TID)
+        for reg in range(1, 36):
+            b.iadd(reg, 0, 0)
+        b.ldg(0, addr=0)
+        for reg in range(1, 36):
+            b.iadd(0, 0, reg)
+        b.stg(addr=0, value=0)
+        b.exit()
+        kernel = b.build()
+        launch = LaunchConfig(32, 128, conc_ctas_per_sm=2)
+        config = GPUConfig.shrunk(0.25, gating_enabled=True)
+        compiled = compile_kernel(kernel, launch, config)
+        result = simulate(
+            compiled.kernel, launch, config, mode="flags",
+            threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+        )
+        stats = result.stats
+        assert stats.ctas_completed == 2
+        assert stats.registers_allocated_events == \
+            stats.registers_released_events
+        assert stats.max_live_registers <= 256
+        assert stats.subarray_wakeups > 0
+
+    def test_occupancy_map_consistent_with_live_count(self):
+        workload = get_workload("matrixmul", scale=0.5)
+        config = GPUConfig.renamed(gating_enabled=True)
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        core = SMCore(config, compiled.kernel, workload.launch,
+                      mode="flags",
+                      threshold=compiled.renaming_threshold)
+        core.cta_queue = [0, 1]
+        for _ in range(500):
+            if core.done():
+                break
+            core.tick()
+        occupancy = core.regfile.occupancy_map()
+        total_occupied = sum(
+            occupied for bank in occupancy for occupied, _ in bank
+        )
+        assert total_occupied == core.regfile.live_count
+        for bank in occupancy:
+            for occupied, powered in bank:
+                if occupied:
+                    assert powered  # occupied sub-arrays must be on
+
+
+class TestSweepInvariants:
+    @pytest.mark.parametrize("fraction", [1.0, 0.75, 0.5, 0.375])
+    def test_shrink_sweep_monotone_capacity(self, fraction):
+        workload = get_workload("hotspot", scale=0.25)
+        config = GPUConfig.shrunk(fraction)
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        result = simulate(
+            compiled.kernel, workload.launch, config, mode="flags",
+            threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=1,
+        )
+        assert result.stats.max_live_registers <= \
+            config.total_physical_registers
+        assert result.stats.ctas_completed >= 1
+
+    def test_flag_cache_sweep_monotone_decodes(self):
+        workload = get_workload("matrixmul", scale=0.5)
+        decodes = []
+        for entries in (0, 2, 10):
+            config = GPUConfig.renamed(
+                release_flag_cache_entries=entries
+            )
+            compiled = compile_kernel(
+                workload.kernel, workload.launch, config
+            )
+            result = simulate(
+                compiled.kernel, workload.launch, config, mode="flags",
+                threshold=compiled.renaming_threshold,
+                max_ctas_per_sm_sim=1,
+            )
+            decodes.append(result.stats.pir_decoded)
+        assert decodes[0] >= decodes[1] >= decodes[2]

@@ -1,0 +1,156 @@
+"""Text assembler tests: grammar, resolution, and error reporting."""
+
+import pytest
+
+from repro.errors import AssemblerError
+from repro.isa import CmpOp, MemSpace, Opcode, Special, assemble
+
+
+class TestBasics:
+    def test_kernel_name_directive(self):
+        kernel = assemble(".kernel foo\n EXIT")
+        assert kernel.name == "foo"
+
+    def test_name_argument_overrides_directive(self):
+        kernel = assemble(".kernel foo\n EXIT", name="bar")
+        assert kernel.name == "bar"
+
+    def test_missing_name_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("EXIT")
+
+    def test_regs_directive(self):
+        kernel = assemble(".kernel k\n.regs 20\n EXIT")
+        assert kernel.num_regs == 20
+
+    def test_shared_directive(self):
+        kernel = assemble(".kernel k\n.shared 2048\n EXIT")
+        assert kernel.shared_bytes == 2048
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\n.bogus 1\n EXIT")
+
+    def test_comments_stripped(self):
+        kernel = assemble(
+            ".kernel k\n"
+            "MOVI r0, 1 ; trailing comment\n"
+            "// whole-line comment\n"
+            "EXIT\n"
+        )
+        assert len(kernel) == 2
+
+
+class TestOperands:
+    def test_alu_registers(self):
+        kernel = assemble(".kernel k\nIADD r3, r1, r2\nEXIT")
+        inst = kernel.instructions[0]
+        assert inst.dst == 3
+        assert inst.srcs == (1, 2)
+
+    def test_immediates_decimal_and_hex(self):
+        kernel = assemble(".kernel k\nMOVI r0, 10\nMOVI r1, 0x10\nEXIT")
+        assert kernel.instructions[0].imm == 10
+        assert kernel.instructions[1].imm == 16
+
+    def test_negative_immediate(self):
+        kernel = assemble(".kernel k\nIADDI r0, r0, -1\nEXIT")
+        assert kernel.instructions[0].imm == -1
+
+    def test_memory_operand_with_offset(self):
+        kernel = assemble(".kernel k\nLDG r0, [r2+0x20]\nEXIT")
+        inst = kernel.instructions[0]
+        assert inst.srcs == (2,)
+        assert inst.offset == 32
+        assert inst.space is MemSpace.GLOBAL
+
+    def test_memory_operand_negative_offset(self):
+        kernel = assemble(".kernel k\nLDG r0, [r2-4]\nEXIT")
+        assert kernel.instructions[0].offset == -4
+
+    def test_memory_operand_without_offset(self):
+        kernel = assemble(".kernel k\nLDS r0, [r2]\nEXIT")
+        assert kernel.instructions[0].offset == 0
+        assert kernel.instructions[0].space is MemSpace.SHARED
+
+    def test_store_operand_order(self):
+        kernel = assemble(".kernel k\nSTG [r1+4], r2\nEXIT")
+        inst = kernel.instructions[0]
+        assert inst.srcs == (1, 2)
+
+    def test_setp_register_form(self):
+        kernel = assemble(".kernel k\nSETP p1, r2, r3, GE\nEXIT")
+        inst = kernel.instructions[0]
+        assert inst.pdst == 1
+        assert inst.srcs == (2, 3)
+        assert inst.cmp is CmpOp.GE
+
+    def test_setp_immediate_form(self):
+        kernel = assemble(".kernel k\nSETP p0, r2, 7, EQ\nEXIT")
+        inst = kernel.instructions[0]
+        assert inst.srcs == (2,)
+        assert inst.imm == 7
+
+    def test_s2r_special(self):
+        kernel = assemble(".kernel k\nS2R r0, SR_CTAID\nEXIT")
+        assert kernel.instructions[0].special is Special.CTAID
+
+    def test_unknown_operand_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nIADD r0, r1, $weird\nEXIT")
+
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(AssemblerError) as excinfo:
+            assemble(".kernel k\nFROB r0\nEXIT")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestGuardsAndLabels:
+    def test_guard_positive(self):
+        kernel = assemble(".kernel k\n@p1 MOV r0, r1\nEXIT")
+        guard = kernel.instructions[0].guard
+        assert guard.preg == 1
+        assert not guard.negated
+
+    def test_guard_negated(self):
+        kernel = assemble(".kernel k\n@!p0 MOV r0, r1\nEXIT")
+        assert kernel.instructions[0].guard.negated
+
+    def test_label_resolution(self):
+        kernel = assemble(
+            ".kernel k\nstart:\nIADDI r0, r0, 1\nBRA start\nEXIT"
+        )
+        assert kernel.instructions[1].target_pc == 0
+
+    def test_forward_label(self):
+        kernel = assemble(".kernel k\nBRA end\nMOVI r0, 1\nend:\nEXIT")
+        assert kernel.instructions[0].target_pc == 2
+
+    def test_label_on_same_line_as_instruction(self):
+        kernel = assemble(".kernel k\nhere: MOVI r0, 1\nBRA here\nEXIT")
+        assert kernel.labels["here"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".kernel k\nx:\nMOVI r0, 1\nx:\nEXIT")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(Exception):
+            assemble(".kernel k\nBRA nowhere\nEXIT")
+
+
+class TestRoundTrip:
+    def test_dump_contains_all_instructions(self, loop_kernel):
+        text = loop_kernel.dump()
+        for inst in loop_kernel.instructions:
+            assert str(inst).split()[0] in text
+
+    def test_reassemble_dump(self, diamond_kernel):
+        """dump() output must itself be assemblable."""
+        text = diamond_kernel.dump()
+        again = assemble(text)
+        assert len(again) == len(diamond_kernel)
+        for a, b in zip(again.instructions, diamond_kernel.instructions):
+            assert a.opcode is b.opcode
+            assert a.srcs == b.srcs
+            assert a.dst == b.dst

@@ -1,0 +1,130 @@
+"""KernelBuilder tests."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import CmpOp, KernelBuilder, Opcode, Special
+
+
+def test_minimal_kernel():
+    b = KernelBuilder("k")
+    b.movi(0, 1)
+    b.exit()
+    kernel = b.build()
+    assert kernel.name == "k"
+    assert len(kernel) == 2
+    assert kernel.num_regs == 1
+
+
+def test_all_alu_methods_emit_expected_opcodes():
+    b = KernelBuilder("k")
+    b.mov(0, 1)
+    b.movi(0, 5)
+    b.iadd(0, 1, 2)
+    b.iaddi(0, 1, -1)
+    b.isub(0, 1, 2)
+    b.imul(0, 1, 2)
+    b.imad(0, 1, 2, 3)
+    b.and_(0, 1, 2)
+    b.or_(0, 1, 2)
+    b.xor(0, 1, 2)
+    b.shl(0, 1, 3)
+    b.shr(0, 1, 3)
+    b.imin(0, 1, 2)
+    b.imax(0, 1, 2)
+    b.sel(0, 1, 2, 3)
+    b.fadd(0, 1, 2)
+    b.fmul(0, 1, 2)
+    b.ffma(0, 1, 2, 3)
+    b.rcp(0, 1)
+    b.sqrt(0, 1)
+    b.exit()
+    kernel = b.build()
+    expected = [
+        Opcode.MOV, Opcode.MOVI, Opcode.IADD, Opcode.IADDI, Opcode.ISUB,
+        Opcode.IMUL, Opcode.IMAD, Opcode.AND, Opcode.OR, Opcode.XOR,
+        Opcode.SHL, Opcode.SHR, Opcode.IMIN, Opcode.IMAX, Opcode.SEL,
+        Opcode.FADD, Opcode.FMUL, Opcode.FFMA, Opcode.RCP, Opcode.SQRT,
+        Opcode.EXIT,
+    ]
+    assert [inst.opcode for inst in kernel.instructions] == expected
+
+
+def test_setp_requires_exactly_one_of_src2_imm():
+    b = KernelBuilder("k")
+    with pytest.raises(IsaError):
+        b.setp(0, 1, CmpOp.LT)
+    with pytest.raises(IsaError):
+        b.setp(0, 1, CmpOp.LT, src2=2, imm=3)
+
+
+def test_setp_register_and_immediate_forms():
+    b = KernelBuilder("k")
+    reg_form = b.setp(0, 1, CmpOp.LT, src2=2)
+    imm_form = b.setp(1, 1, CmpOp.GE, imm=4)
+    assert reg_form.srcs == (1, 2)
+    assert imm_form.srcs == (1,) and imm_form.imm == 4
+
+
+def test_guard_keyword_on_any_instruction():
+    b = KernelBuilder("k")
+    inst = b.iadd(0, 1, 2, pred=3, negated=True)
+    assert inst.guard.preg == 3
+    assert inst.guard.negated
+
+
+def test_labels_and_branches():
+    b = KernelBuilder("k")
+    top = b.label("top")
+    b.iaddi(0, 0, 1)
+    b.bra(top, pred=0)
+    b.exit()
+    kernel = b.build()
+    assert kernel.instructions[1].target_pc == 0
+
+
+def test_auto_label_names_unique():
+    b = KernelBuilder("k")
+    first = b.label()
+    b.nop()
+    second = b.label()
+    b.exit()
+    assert first != second
+
+
+def test_fresh_label_place_later():
+    b = KernelBuilder("k")
+    end = b.fresh_label()
+    b.bra(end)
+    b.movi(0, 1)
+    b.place(end)
+    b.exit()
+    kernel = b.build()
+    assert kernel.instructions[0].target_pc == 2
+
+
+def test_duplicate_label_rejected():
+    b = KernelBuilder("k")
+    b.label("x")
+    with pytest.raises(IsaError):
+        b.label("x")
+
+
+def test_build_twice_rejected():
+    b = KernelBuilder("k")
+    b.exit()
+    b.build()
+    with pytest.raises(IsaError):
+        b.emit(b.exit())
+
+
+def test_memory_methods():
+    b = KernelBuilder("k")
+    b.s2r(0, Special.TID)
+    load = b.ldg(1, addr=0, offset=8)
+    store = b.sts(addr=0, value=1, offset=4)
+    b.exit()
+    assert load.offset == 8
+    assert store.srcs == (0, 1)
+    kernel = b.build()
+    kernel.validate()

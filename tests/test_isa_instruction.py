@@ -1,0 +1,150 @@
+"""Instruction construction, validation, and formatting tests."""
+
+import pytest
+
+from repro.errors import IsaError
+from repro.isa import CmpOp, Instruction, MemSpace, Opcode, PredGuard, Special
+from repro.isa.opcodes import Unit, opcode_info
+
+
+def iadd(dst=0, a=1, b=2):
+    return Instruction(Opcode.IADD, dst=dst, srcs=(a, b))
+
+
+class TestValidation:
+    def test_simple_alu(self):
+        inst = iadd()
+        assert inst.writes() == 0
+        assert inst.reads() == (1, 2)
+
+    def test_wrong_source_count_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.IADD, dst=0, srcs=(1,))
+
+    def test_missing_destination_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.IADD, srcs=(1, 2))
+
+    def test_unexpected_destination_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.STG, dst=0, srcs=(1, 2),
+                        space=MemSpace.GLOBAL)
+
+    def test_setp_requires_cmp(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.SETP, pdst=0, srcs=(1, 2))
+
+    def test_setp_requires_predicate_destination(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.SETP, srcs=(1, 2), cmp=CmpOp.LT)
+
+    def test_setp_immediate_form(self):
+        inst = Instruction(Opcode.SETP, pdst=0, srcs=(1,), imm=5,
+                           cmp=CmpOp.LT)
+        assert inst.reads() == (1,)
+
+    def test_branch_requires_target(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.BRA)
+
+    def test_branch_with_resolved_pc_is_valid(self):
+        inst = Instruction(Opcode.BRA, target_pc=4)
+        assert inst.is_branch
+
+    def test_memory_requires_space(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.LDG, dst=0, srcs=(1,))
+
+    def test_s2r_requires_special(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.S2R, dst=0)
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(IsaError):
+            Instruction(Opcode.MOV, dst=-1, srcs=(0,))
+        with pytest.raises(IsaError):
+            Instruction(Opcode.MOV, dst=0, srcs=(-2,))
+
+    def test_immediate_stands_in_for_trailing_source(self):
+        inst = Instruction(Opcode.IADDI, dst=0, srcs=(1,), imm=-1)
+        assert inst.imm == -1
+
+
+class TestQueries:
+    def test_conditional_branch_detection(self):
+        guarded = Instruction(Opcode.BRA, target="x",
+                              guard=PredGuard(0))
+        plain = Instruction(Opcode.BRA, target="x")
+        assert guarded.is_conditional_branch
+        assert not plain.is_conditional_branch
+
+    def test_memory_classification(self):
+        load = Instruction(Opcode.LDG, dst=0, srcs=(1,),
+                           space=MemSpace.GLOBAL)
+        assert load.is_memory
+        assert not load.info.is_store
+        store = Instruction(Opcode.STG, srcs=(1, 2),
+                            space=MemSpace.GLOBAL)
+        assert store.info.is_store
+
+    def test_meta_classification(self):
+        assert Instruction(Opcode.PIR).is_meta
+        assert Instruction(Opcode.PBR).is_meta
+        assert not iadd().is_meta
+
+    def test_units(self):
+        assert opcode_info(Opcode.IADD).unit is Unit.ALU
+        assert opcode_info(Opcode.SQRT).unit is Unit.SFU
+        assert opcode_info(Opcode.LDG).unit is Unit.MEM
+        assert opcode_info(Opcode.BRA).unit is Unit.CTRL
+        assert opcode_info(Opcode.PIR).unit is Unit.META
+
+
+class TestFormatting:
+    def test_alu_str(self):
+        assert str(iadd()) == "IADD r0, r1, r2"
+
+    def test_guard_prefix(self):
+        inst = Instruction(Opcode.MOV, dst=0, srcs=(1,),
+                           guard=PredGuard(2, negated=True))
+        assert str(inst).startswith("@!p2 ")
+
+    def test_load_format(self):
+        inst = Instruction(Opcode.LDG, dst=3, srcs=(1,), offset=16,
+                           space=MemSpace.GLOBAL)
+        assert "[r1+0x10]" in str(inst)
+
+    def test_store_format(self):
+        inst = Instruction(Opcode.STG, srcs=(1, 2), space=MemSpace.GLOBAL)
+        text = str(inst)
+        assert text.index("[r1") < text.index("r2")
+
+    def test_setp_format_contains_cmp(self):
+        inst = Instruction(Opcode.SETP, pdst=1, srcs=(2,), imm=7,
+                           cmp=CmpOp.GE)
+        assert "GE" in str(inst)
+        assert "p1" in str(inst)
+
+    def test_s2r_format(self):
+        inst = Instruction(Opcode.S2R, dst=0, special=Special.TID)
+        assert "SR_TID" in str(inst)
+
+    def test_branch_label(self):
+        assert "loop" in str(Instruction(Opcode.BRA, target="loop"))
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            info = opcode_info(opcode)
+            assert info.num_srcs in (0, 1, 2, 3)
+
+    def test_stores_have_no_destination(self):
+        for opcode in Opcode:
+            info = opcode_info(opcode)
+            if info.is_store:
+                assert not info.has_dst
+
+    def test_meta_opcodes_flagged(self):
+        metas = [op for op in Opcode if opcode_info(op).is_meta]
+        assert set(metas) == {Opcode.PIR, Opcode.PBR}

@@ -1,0 +1,113 @@
+"""pir/pbr metadata payload encoding tests (Section 6.2 formats)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import metadata
+
+
+class TestCapacities:
+    def test_pir_covers_18_instructions(self):
+        assert metadata.PIR_CAPACITY == 18
+
+    def test_pbr_covers_9_registers(self):
+        assert metadata.PBR_CAPACITY == 9
+
+    def test_payload_is_54_bits(self):
+        assert metadata.PAYLOAD_BITS == 54
+
+    def test_pbr_max_register_id(self):
+        # Fermi allows 63 registers per thread, ids 0..62.
+        assert metadata.PBR_MAX_REG == 62
+
+
+class TestPir:
+    def test_empty(self):
+        assert metadata.encode_pir([]) == 0
+
+    def test_single_first_operand(self):
+        payload = metadata.encode_pir([(True, False, False)])
+        assert payload == 0b001
+
+    def test_second_instruction_field_shifted(self):
+        payload = metadata.encode_pir([(False,), (False, True)])
+        assert payload == 0b010 << 3
+
+    def test_decode_returns_18_fields(self):
+        fields = metadata.decode_pir(0)
+        assert len(fields) == 18
+        assert all(field == (False, False, False) for field in fields)
+
+    def test_roundtrip_explicit(self):
+        flags = [(True, False, True), (False, True, False), (True,)]
+        decoded = metadata.decode_pir(metadata.encode_pir(flags))
+        assert decoded[0] == (True, False, True)
+        assert decoded[1] == (False, True, False)
+        assert decoded[2] == (True, False, False)
+
+    def test_too_many_instructions_rejected(self):
+        with pytest.raises(EncodingError):
+            metadata.encode_pir([(False,)] * 19)
+
+    def test_too_many_operands_rejected(self):
+        with pytest.raises(EncodingError):
+            metadata.encode_pir([(True, True, True, True)])
+
+    def test_decode_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            metadata.decode_pir(1 << 54)
+        with pytest.raises(EncodingError):
+            metadata.decode_pir(-1)
+
+    @given(
+        st.lists(
+            st.tuples(st.booleans(), st.booleans(), st.booleans()),
+            max_size=18,
+        )
+    )
+    def test_roundtrip_property(self, flags):
+        payload = metadata.encode_pir(flags)
+        assert 0 <= payload < (1 << 54)
+        decoded = metadata.decode_pir(payload)
+        for index, triple in enumerate(flags):
+            assert decoded[index] == triple
+        for index in range(len(flags), 18):
+            assert decoded[index] == (False, False, False)
+
+
+class TestPbr:
+    def test_empty(self):
+        assert metadata.encode_pbr([]) == 0
+        assert metadata.decode_pbr(0) == []
+
+    def test_register_zero_is_encodable(self):
+        # Ids are stored +1 so an empty slot is distinguishable from r0.
+        assert metadata.decode_pbr(metadata.encode_pbr([0])) == [0]
+
+    def test_roundtrip_explicit(self):
+        regs = [0, 5, 62]
+        assert metadata.decode_pbr(metadata.encode_pbr(regs)) == regs
+
+    def test_too_many_registers_rejected(self):
+        with pytest.raises(EncodingError):
+            metadata.encode_pbr(list(range(10)))
+
+    def test_register_63_not_encodable(self):
+        with pytest.raises(EncodingError):
+            metadata.encode_pbr([63])
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(EncodingError):
+            metadata.encode_pbr([-1])
+
+    def test_decode_out_of_range_rejected(self):
+        with pytest.raises(EncodingError):
+            metadata.decode_pbr(1 << 54)
+
+    @given(st.lists(st.integers(0, 62), max_size=9))
+    def test_roundtrip_property(self, regs):
+        payload = metadata.encode_pbr(regs)
+        assert 0 <= payload < (1 << 54)
+        assert metadata.decode_pbr(payload) == regs

@@ -1,0 +1,68 @@
+"""Launch configuration and occupancy model tests."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.errors import ConfigError
+from repro.launch import LaunchConfig
+
+
+def test_warps_per_cta_rounds_up():
+    assert LaunchConfig(1, 32).warps_per_cta() == 1
+    assert LaunchConfig(1, 33).warps_per_cta() == 2
+    assert LaunchConfig(1, 169).warps_per_cta() == 6  # NN's odd CTA
+
+
+def test_invalid_shapes_rejected():
+    with pytest.raises(ConfigError):
+        LaunchConfig(0, 32)
+    with pytest.raises(ConfigError):
+        LaunchConfig(1, 0)
+    with pytest.raises(ConfigError):
+        LaunchConfig(1, 32, conc_ctas_per_sm=0)
+
+
+class TestOccupancy:
+    def test_register_limit(self):
+        config = GPUConfig.baseline()
+        # 8 warps x 32 regs = 256 regs/CTA -> 1024 // 256 = 4 CTAs.
+        launch = LaunchConfig(100, 256)
+        assert launch.resident_ctas(config, 32) == 4
+
+    def test_warp_limit(self):
+        config = GPUConfig.baseline()
+        launch = LaunchConfig(100, 512)  # 16 warps/CTA
+        assert launch.resident_ctas(config, 4) == 3  # 48 // 16
+
+    def test_cta_limit(self):
+        config = GPUConfig.baseline()
+        launch = LaunchConfig(100, 32)
+        assert launch.resident_ctas(config, 1) == 8  # max_ctas_per_sm
+
+    def test_grid_limit(self):
+        config = GPUConfig.baseline()
+        launch = LaunchConfig(2, 32)
+        assert launch.resident_ctas(config, 1) == 2
+
+    def test_pinned_concurrency_wins(self):
+        config = GPUConfig.baseline()
+        launch = LaunchConfig(100, 32, conc_ctas_per_sm=3)
+        assert launch.resident_ctas(config, 1) == 3
+
+    def test_underprovisioning_does_not_reduce_occupancy(self):
+        # Virtualization keeps the architected space visible (8.1).
+        launch = LaunchConfig(100, 256)
+        full = launch.resident_ctas(GPUConfig.renamed(), 32)
+        shrunk = launch.resident_ctas(GPUConfig.shrunk(0.5), 32)
+        assert full == shrunk
+
+    def test_impossible_cta_rejected(self):
+        config = GPUConfig.baseline()
+        launch = LaunchConfig(1, 2048)  # 64 warps > 48
+        with pytest.raises(ConfigError):
+            launch.resident_ctas(config, 8)
+
+    def test_resident_warps(self):
+        config = GPUConfig.baseline()
+        launch = LaunchConfig(100, 256, conc_ctas_per_sm=6)
+        assert launch.resident_warps(config, 14) == 48

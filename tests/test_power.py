@@ -1,0 +1,188 @@
+"""Power model tests: Table 2 anchors, Fig. 7 calibration, Fig. 9."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.errors import ConfigError
+from repro.power import (
+    TABLE2_PARAMETERS,
+    RegisterFilePowerModel,
+    SramArrayModel,
+    energy_breakdown,
+    leakage_factor,
+)
+from repro.power.cacti import DYNAMIC_SIZE_EXPONENT
+from repro.power.technology import TECHNOLOGY_ORDER, is_finfet
+from repro.sim.stats import SimStats
+
+
+class TestTable2Anchors:
+    def test_renaming_table_row(self):
+        row = TABLE2_PARAMETERS["renaming_table"]
+        assert row.size_bytes == 1024
+        assert row.banks == 4
+        assert row.per_access_pj == 1.14
+        assert row.leakage_per_bank_mw == 0.27
+
+    def test_register_bank_row(self):
+        row = TABLE2_PARAMETERS["register_bank"]
+        assert row.size_bytes == 4096
+        assert row.per_access_pj == 4.68
+        assert row.leakage_per_bank_mw == 2.8
+
+    def test_anchor_models_reproduce_anchor_values(self):
+        model = SramArrayModel.register_subbank(4096)
+        assert model.access_energy_pj() == pytest.approx(4.68)
+        assert model.leakage_mw() == pytest.approx(2.8)
+
+
+class TestScaling:
+    def test_halving_reduces_access_energy_20pct(self):
+        full = SramArrayModel.register_subbank(4096)
+        half = SramArrayModel.register_subbank(2048)
+        ratio = half.access_energy_pj() / full.access_energy_pj()
+        assert ratio == pytest.approx(0.8, rel=1e-6)
+
+    def test_leakage_linear_in_size(self):
+        full = SramArrayModel.register_subbank(4096)
+        half = SramArrayModel.register_subbank(2048)
+        assert half.leakage_mw() == pytest.approx(full.leakage_mw() / 2)
+
+    def test_exponent_calibration(self):
+        assert 0.5 ** DYNAMIC_SIZE_EXPONENT == pytest.approx(0.8)
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigError):
+            SramArrayModel.register_subbank(0)
+
+
+class TestFig7Curve:
+    def test_anchor_points(self):
+        model = RegisterFilePowerModel(GPUConfig.baseline())
+        at_half = model.power_vs_size(0.5)
+        assert at_half["dynamic"] == pytest.approx(0.80, abs=0.005)
+        assert at_half["leakage"] == pytest.approx(0.50, abs=0.005)
+        assert at_half["total"] == pytest.approx(0.70, abs=0.005)
+
+    def test_zero_reduction_is_unity(self):
+        model = RegisterFilePowerModel(GPUConfig.baseline())
+        point = model.power_vs_size(0.0)
+        assert point["total"] == pytest.approx(1.0)
+
+    def test_monotonically_decreasing(self):
+        model = RegisterFilePowerModel(GPUConfig.baseline())
+        totals = [
+            model.power_vs_size(r / 10)["total"] for r in range(6)
+        ]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_invalid_reduction_rejected(self):
+        model = RegisterFilePowerModel(GPUConfig.baseline())
+        with pytest.raises(ConfigError):
+            model.power_vs_size(1.0)
+
+    def test_shrunk_file_has_lower_access_energy(self):
+        full = RegisterFilePowerModel(GPUConfig.baseline())
+        half = RegisterFilePowerModel(GPUConfig.shrunk(0.5))
+        assert half.access_energy_pj() == pytest.approx(
+            0.8 * full.access_energy_pj(), rel=1e-6
+        )
+
+    def test_full_file_leakage(self):
+        model = RegisterFilePowerModel(GPUConfig.baseline())
+        # 128KB / 4KB anchors = 32 x 2.8 mW.
+        assert model.leakage_total_mw() == pytest.approx(32 * 2.8)
+        # One 8KB sub-array leaks 2 anchor banks' worth.
+        assert model.leakage_per_subarray_mw() == pytest.approx(5.6)
+
+
+class TestFig9Technology:
+    def test_known_nodes(self):
+        assert leakage_factor("40nm-P") == 1.0
+        assert leakage_factor("22nm-P") > leakage_factor("32nm-P")
+
+    def test_finfet_resets_leakage(self):
+        assert leakage_factor("22nm-F") < leakage_factor("22nm-P")
+        assert leakage_factor("22nm-F") == pytest.approx(1.0, abs=0.05)
+
+    def test_climb_resumes_after_reset(self):
+        assert (
+            leakage_factor("10nm-F")
+            > leakage_factor("16nm-F")
+            > leakage_factor("22nm-F")
+        )
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(ConfigError):
+            leakage_factor("7nm-F")
+
+    def test_ordering_and_device_classes(self):
+        assert TECHNOLOGY_ORDER[0] == "40nm-P"
+        assert is_finfet("16nm-F")
+        assert not is_finfet("32nm-P")
+
+
+class TestEnergyBreakdown:
+    def make_stats(self, **overrides):
+        stats = SimStats()
+        stats.cycles = 10_000
+        stats.rf_reads = 5_000
+        stats.rf_writes = 2_000
+        stats.renaming_reads = 6_000
+        stats.renaming_writes = 1_000
+        stats.pir_decoded = 50
+        stats.pbr_decoded = 20
+        stats.flag_cache_hits = 900
+        stats.flag_cache_misses = 50
+        stats.subarray_active_cycles = 4 * 10_000
+        for key, value in overrides.items():
+            setattr(stats, key, value)
+        return stats
+
+    def test_components_positive(self):
+        energy = energy_breakdown(self.make_stats(), GPUConfig.renamed())
+        assert energy.dynamic > 0
+        assert energy.static > 0
+        assert energy.renaming_table > 0
+        assert energy.flag_instruction > 0
+        assert energy.total == pytest.approx(
+            energy.dynamic + energy.static + energy.renaming_table
+            + energy.flag_instruction
+        )
+
+    def test_baseline_has_no_renaming_energy(self):
+        energy = energy_breakdown(
+            self.make_stats(), GPUConfig.baseline(), renaming_active=False
+        )
+        assert energy.renaming_table == 0
+        assert energy.flag_instruction == 0
+
+    def test_gating_uses_activity_integral(self):
+        gated = GPUConfig.renamed(gating_enabled=True)
+        full = GPUConfig.renamed()
+        gated_energy = energy_breakdown(self.make_stats(), gated)
+        full_energy = energy_breakdown(self.make_stats(), full)
+        # Only 4 of 16 sub-arrays were powered: 4x less static energy.
+        assert gated_energy.static == pytest.approx(
+            full_energy.static / 4
+        )
+
+    def test_normalization(self):
+        base = energy_breakdown(
+            self.make_stats(), GPUConfig.baseline(), renaming_active=False
+        )
+        ours = energy_breakdown(self.make_stats(), GPUConfig.shrunk(0.5))
+        normalized = ours.normalized_to(base)
+        assert normalized["total"] == pytest.approx(
+            ours.total / base.total
+        )
+        assert set(normalized) == {
+            "dynamic", "static", "renaming_table", "flag_instruction",
+            "rfc", "total",
+        }
+
+    def test_shrunk_dynamic_cheaper_per_access(self):
+        stats = self.make_stats()
+        full = energy_breakdown(stats, GPUConfig.renamed())
+        half = energy_breakdown(stats, GPUConfig.shrunk(0.5))
+        assert half.dynamic == pytest.approx(0.8 * full.dynamic, rel=1e-6)

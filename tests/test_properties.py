@@ -1,0 +1,372 @@
+"""Property-based differential tests on randomly generated kernels.
+
+A hypothesis strategy generates structured kernels (straight-line ALU
+chains, data-dependent if/else divergence, bounded loops, loads and
+stores) and every generated kernel is run under all three register
+management modes. The invariants:
+
+* all modes execute the identical dynamic instruction stream,
+* the compiler's release plan is sound: the renaming table's strict
+  use-after-release detector never fires (a premature release would
+  lose a live value on real hardware),
+* register conservation: at completion every physical register is free,
+* the flags mode never exceeds the baseline's peak register footprint.
+
+This is the deepest check of the whole stack: the CFG builder,
+postdominators, liveness, hoisting, flag encoding, SIMT stack, and
+renaming all have to agree for these to hold.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GPUConfig
+from repro.compiler import compile_kernel
+from repro.isa import CmpOp, KernelBuilder, Special
+from repro.launch import LaunchConfig
+from repro.sim import simulate
+
+#: Application registers (loop counters/predicates live above these).
+APP_REGS = 6
+COUNTER0 = APP_REGS
+COUNTER1 = APP_REGS + 1
+
+LAUNCH = LaunchConfig(grid_ctas=16, threads_per_cta=64, conc_ctas_per_sm=2)
+
+# --- kernel specification strategy ------------------------------------------
+
+app_reg = st.integers(0, APP_REGS - 1)
+
+simple_op = st.one_of(
+    st.tuples(st.just("alu"), app_reg, app_reg, app_reg),
+    st.tuples(st.just("movi"), app_reg, st.integers(0, 255)),
+    st.tuples(st.just("load"), app_reg, app_reg),
+    st.tuples(st.just("store"), app_reg, app_reg),
+)
+
+block = st.lists(simple_op, min_size=1, max_size=6)
+
+branch_item = st.tuples(
+    st.just("if"),
+    st.integers(1, 62),  # tid threshold: divergence within warps
+    block,  # then
+    block,  # else
+)
+
+loop_item = st.tuples(
+    st.just("loop"),
+    st.integers(1, 3),  # trip count
+    st.lists(st.one_of(simple_op, branch_item), min_size=1, max_size=5),
+)
+
+kernel_spec = st.lists(
+    st.one_of(simple_op, branch_item, loop_item),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _emit_op(b: KernelBuilder, op, guard_free_pred: int) -> None:
+    kind = op[0]
+    if kind == "alu":
+        _, dst, a, c = op
+        b.iadd(dst, a, c)
+    elif kind == "movi":
+        _, dst, imm = op
+        b.movi(dst, imm)
+    elif kind == "load":
+        _, dst, addr = op
+        b.ldg(dst, addr=addr, offset=0x1000)
+    elif kind == "store":
+        _, addr, value = op
+        b.stg(addr=addr, value=value, offset=0x8000)
+    elif kind == "if":
+        _, threshold, then_ops, else_ops = op
+        pred = guard_free_pred
+        b.s2r(APP_REGS + 2, Special.LANEID)
+        b.setp(pred, APP_REGS + 2, CmpOp.LT, imm=threshold)
+        then_label = b.fresh_label()
+        merge = b.fresh_label()
+        b.bra(then_label, pred=pred)
+        for inner in else_ops:
+            _emit_op(b, inner, guard_free_pred + 1)
+        b.bra(merge)
+        b.place(then_label)
+        for inner in then_ops:
+            _emit_op(b, inner, guard_free_pred + 1)
+        b.place(merge)
+        b.nop()  # guarantees the merge label lands on an instruction
+    elif kind == "loop":
+        _, trips, body = op
+        counter = COUNTER1 if guard_free_pred > 1 else COUNTER0
+        pred = guard_free_pred
+        b.movi(counter, trips)
+        top = b.label()
+        for inner in body:
+            _emit_op(b, inner, guard_free_pred + 1)
+        b.iaddi(counter, counter, -1)
+        b.setp(pred, counter, CmpOp.GT, imm=0)
+        b.bra(top, pred=pred)
+    else:  # pragma: no cover
+        raise AssertionError(kind)
+
+
+def build_kernel(spec) -> "Kernel":
+    b = KernelBuilder("random", num_preds=8)
+    b.s2r(0, Special.TID)
+    for op in spec:
+        _emit_op(b, op, guard_free_pred=1)
+    b.stg(addr=0, value=1, offset=0x20000)
+    b.exit()
+    return b.build()
+
+
+def run_all_modes(kernel):
+    base = simulate(
+        kernel.clone(), LAUNCH, GPUConfig.baseline(), mode="baseline",
+        max_ctas_per_sm_sim=2,
+    )
+    config = GPUConfig.renamed()
+    compiled = compile_kernel(kernel, LAUNCH, config)
+    flags = simulate(
+        compiled.kernel, LAUNCH, config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+    )
+    redefine = simulate(
+        kernel.clone(), LAUNCH, GPUConfig.renamed(), mode="redefine",
+        max_ctas_per_sm_sim=2,
+    )
+    return base, flags, redefine
+
+
+SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+@SETTINGS
+@given(kernel_spec)
+def test_modes_execute_identical_instruction_streams(spec):
+    kernel = build_kernel(spec)
+    base, flags, redefine = run_all_modes(kernel)
+    assert base.instructions == flags.instructions
+    assert base.instructions == redefine.instructions
+    assert base.stats.warps_completed == flags.stats.warps_completed
+
+
+@SETTINGS
+@given(kernel_spec)
+def test_release_plan_is_sound_and_registers_conserve(spec):
+    """Strict use-after-release detection is active inside simulate();
+    reaching the assertions means no unsound release fired."""
+    kernel = build_kernel(spec)
+    config = GPUConfig.renamed()
+    compiled = compile_kernel(kernel, LAUNCH, config)
+    result = simulate(
+        compiled.kernel, LAUNCH, config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+    )
+    stats = result.stats
+    # Conservation: everything allocated was eventually released.
+    assert stats.registers_allocated_events == \
+        stats.registers_released_events
+    assert stats.max_live_registers <= stats.max_architected_allocated
+
+
+@SETTINGS
+@given(kernel_spec)
+def test_flags_mode_never_needs_more_registers_than_baseline(spec):
+    kernel = build_kernel(spec)
+    base, flags, _ = run_all_modes(kernel)
+    assert (
+        flags.stats.max_live_registers
+        <= base.stats.max_live_registers
+    )
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_spec)
+def test_gpu_shrink_runs_every_random_kernel(spec):
+    """Random kernels complete on a half-size file with no deadlock."""
+    kernel = build_kernel(spec)
+    config = GPUConfig.shrunk(0.5)
+    compiled = compile_kernel(kernel, LAUNCH, config)
+    result = simulate(
+        compiled.kernel, LAUNCH, config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+    )
+    assert result.stats.ctas_completed == result.ctas_simulated
+    assert result.stats.max_live_registers <= 512
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_spec)
+def test_gating_does_not_change_execution(spec):
+    kernel = build_kernel(spec)
+    config = GPUConfig.renamed()
+    compiled = compile_kernel(kernel, LAUNCH, config)
+    plain = simulate(
+        compiled.kernel.clone(), LAUNCH, config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+    )
+    gated_config = GPUConfig.renamed(
+        gating_enabled=True, wakeup_latency_cycles=0
+    )
+    gated = simulate(
+        compiled.kernel.clone(), LAUNCH, gated_config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+    )
+    assert plain.instructions == gated.instructions
+    # With zero wake-up latency, gating is timing-invisible.
+    assert plain.cycles == gated.cycles
+
+
+@SETTINGS
+@given(kernel_spec)
+def test_dump_assemble_roundtrip(spec):
+    """Every generated kernel's disassembly re-assembles to an
+    equivalent kernel (same opcodes, operands, and branch structure)."""
+    from repro.isa import assemble
+
+    kernel = build_kernel(spec)
+    again = assemble(kernel.dump())
+    assert len(again) == len(kernel)
+    for a, b in zip(again.instructions, kernel.instructions):
+        assert a.opcode is b.opcode
+        assert a.srcs == b.srcs
+        assert a.dst == b.dst
+        assert a.imm == b.imm
+        assert a.target_pc == b.target_pc
+
+
+@SETTINGS
+@given(kernel_spec)
+def test_timing_invariants(spec):
+    """Issue accounting is self-consistent: cycles bound the issue
+    bandwidth, and every issued instruction is a regular instruction or
+    a decoded metadata word."""
+    kernel = build_kernel(spec)
+    config = GPUConfig.renamed()
+    compiled = compile_kernel(kernel, LAUNCH, config)
+    result = simulate(
+        compiled.kernel, LAUNCH, config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=2,
+    )
+    stats = result.stats
+    assert stats.issued == (
+        stats.instructions + stats.pir_decoded + stats.pbr_decoded
+    )
+    # Dual issue: at most two instructions per cycle.
+    assert stats.issued <= 2 * stats.cycles
+    # Flag-cache accounting: every pir fetch is a hit or a miss.
+    assert stats.pir_skipped == stats.flag_cache_hits
+    assert stats.pir_decoded <= stats.flag_cache_misses
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_spec, st.sampled_from(["loose_rr", "gto"]))
+def test_scheduler_policies_preserve_function(spec, policy):
+    """Alternative warp schedulers change timing, never results."""
+    kernel = build_kernel(spec)
+    reference = simulate(
+        kernel.clone(), LAUNCH, GPUConfig.baseline(), mode="baseline",
+        max_ctas_per_sm_sim=2,
+    )
+    config = GPUConfig.baseline(scheduler_policy=policy)
+    other = simulate(
+        kernel.clone(), LAUNCH, config, mode="baseline",
+        max_ctas_per_sm_sim=2,
+    )
+    assert other.instructions == reference.instructions
+    assert other.stats.warps_completed == reference.stats.warps_completed
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(kernel_spec)
+def test_rfc_preserves_function_and_reduces_traffic(spec):
+    kernel = build_kernel(spec)
+    plain = simulate(
+        kernel.clone(), LAUNCH, GPUConfig.baseline(), mode="baseline",
+        max_ctas_per_sm_sim=2,
+    )
+    config = GPUConfig.baseline(rfc_entries_per_warp=6)
+    cached = simulate(
+        kernel.clone(), LAUNCH, config, mode="baseline",
+        max_ctas_per_sm_sim=2,
+    )
+    assert cached.instructions == plain.instructions
+    plain_mrf = plain.stats.rf_reads + plain.stats.rf_writes
+    cached_mrf = cached.stats.rf_reads + cached.stats.rf_writes
+    assert cached_mrf <= plain_mrf
+
+
+# --- brute-force liveness cross-check (acyclic kernels) ---------------------
+
+acyclic_spec = st.lists(
+    st.one_of(simple_op, branch_item), min_size=1, max_size=5
+)
+
+
+def _brute_force_live_out(kernel, pc: int) -> set[int]:
+    """Liveness by enumerating every acyclic path from ``pc``.
+
+    A register is live-out of ``pc`` iff some path from pc+1 (or the
+    branch successors) reads it before writing it.
+    """
+    instructions = kernel.instructions
+
+    def successors(index):
+        inst = instructions[index]
+        if inst.info.is_exit:
+            return []
+        if inst.is_branch:
+            if inst.guard is None:
+                return [inst.target_pc]
+            return [inst.target_pc, index + 1]
+        return [index + 1]
+
+    live = set()
+    stack = [(succ, frozenset()) for succ in successors(pc)]
+    seen = set()
+    while stack:
+        index, written = stack.pop()
+        key = (index, written)
+        if key in seen:
+            continue
+        seen.add(key)
+        inst = instructions[index]
+        for reg in inst.srcs:
+            if reg not in written:
+                live.add(reg)
+        new_written = written
+        if inst.dst is not None:
+            new_written = written | {inst.dst}
+        for succ in successors(index):
+            stack.append((succ, new_written))
+    return live
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(acyclic_spec)
+def test_dataflow_liveness_matches_brute_force(spec):
+    from repro.compiler.cfg import ControlFlowGraph
+    from repro.compiler.liveness import LivenessAnalysis
+
+    kernel = build_kernel(spec)
+    cfg = ControlFlowGraph(kernel)
+    liveness = LivenessAnalysis(cfg)
+    for pc in range(len(kernel.instructions)):
+        if kernel.instructions[pc].info.is_exit:
+            continue
+        assert liveness.live_out(pc) == _brute_force_live_out(kernel, pc), (
+            f"pc {pc}: {kernel.dump()}"
+        )

@@ -1,0 +1,220 @@
+"""Functional execution semantics tests, opcode by opcode."""
+
+import numpy as np
+import pytest
+
+from repro.isa import CmpOp, Instruction, MemSpace, Opcode, PredGuard, Special
+from repro.sim.execute import (
+    array_to_mask,
+    effective_mask,
+    execute,
+    special_value,
+)
+from repro.sim.memory import GlobalMemory, SharedMemory
+from repro.sim.warp import Warp
+
+
+class FakeCta:
+    def __init__(self):
+        self.index = 0
+        self.ctaid = 3
+        self.num_threads = 64
+        self.grid_ctas = 10
+        self.shared = SharedMemory()
+
+
+@pytest.fixture
+def warp():
+    return Warp(slot=0, cta=FakeCta(), warp_in_cta=1, warp_size=32,
+                active_threads=32)
+
+
+@pytest.fixture
+def gmem():
+    return GlobalMemory()
+
+
+def run(warp, gmem, opcode, **kwargs):
+    return execute(Instruction(opcode, **kwargs), warp, gmem)
+
+
+def set_reg(warp, reg, value):
+    warp.regs[reg] = np.full(32, value, dtype=np.int64)
+
+
+class TestAlu:
+    def test_movi_broadcasts(self, warp, gmem):
+        run(warp, gmem, Opcode.MOVI, dst=0, imm=42)
+        assert (warp.reg(0) == 42).all()
+
+    def test_mov_copies(self, warp, gmem):
+        set_reg(warp, 1, 7)
+        run(warp, gmem, Opcode.MOV, dst=0, srcs=(1,))
+        assert (warp.reg(0) == 7).all()
+
+    @pytest.mark.parametrize("opcode,a,b,expected", [
+        (Opcode.IADD, 5, 3, 8),
+        (Opcode.ISUB, 5, 3, 2),
+        (Opcode.IMUL, 5, 3, 15),
+        (Opcode.AND, 0b110, 0b011, 0b010),
+        (Opcode.OR, 0b110, 0b011, 0b111),
+        (Opcode.XOR, 0b110, 0b011, 0b101),
+        (Opcode.IMIN, 5, 3, 3),
+        (Opcode.IMAX, 5, 3, 5),
+        (Opcode.FADD, 5, 3, 8),
+        (Opcode.FMUL, 5, 3, 15),
+    ])
+    def test_binary_ops(self, warp, gmem, opcode, a, b, expected):
+        set_reg(warp, 1, a)
+        set_reg(warp, 2, b)
+        run(warp, gmem, opcode, dst=0, srcs=(1, 2))
+        assert (warp.reg(0) == expected).all()
+
+    def test_iaddi(self, warp, gmem):
+        set_reg(warp, 1, 10)
+        run(warp, gmem, Opcode.IADDI, dst=0, srcs=(1,), imm=-3)
+        assert (warp.reg(0) == 7).all()
+
+    def test_imad_and_ffma(self, warp, gmem):
+        set_reg(warp, 1, 2)
+        set_reg(warp, 2, 3)
+        set_reg(warp, 3, 4)
+        run(warp, gmem, Opcode.IMAD, dst=0, srcs=(1, 2, 3))
+        assert (warp.reg(0) == 10).all()
+        run(warp, gmem, Opcode.FFMA, dst=4, srcs=(1, 2, 3))
+        assert (warp.reg(4) == 10).all()
+
+    def test_shifts(self, warp, gmem):
+        set_reg(warp, 1, 8)
+        run(warp, gmem, Opcode.SHL, dst=0, srcs=(1,), imm=2)
+        assert (warp.reg(0) == 32).all()
+        run(warp, gmem, Opcode.SHR, dst=0, srcs=(1,), imm=2)
+        assert (warp.reg(0) == 2).all()
+
+    def test_sel(self, warp, gmem):
+        warp.regs[1] = np.array([0, 1] * 16, dtype=np.int64)
+        set_reg(warp, 2, 10)
+        set_reg(warp, 3, 20)
+        run(warp, gmem, Opcode.SEL, dst=0, srcs=(1, 2, 3))
+        assert warp.reg(0)[0] == 20
+        assert warp.reg(0)[1] == 10
+
+    def test_rcp_and_sqrt_are_total(self, warp, gmem):
+        set_reg(warp, 1, 0)
+        run(warp, gmem, Opcode.RCP, dst=0, srcs=(1,))
+        assert (warp.reg(0) == 1 << 16).all()
+        set_reg(warp, 1, 16)
+        run(warp, gmem, Opcode.SQRT, dst=0, srcs=(1,))
+        assert (warp.reg(0) == 4).all()
+
+
+class TestPredicates:
+    def test_setp_register_form(self, warp, gmem):
+        warp.regs[1] = np.arange(32, dtype=np.int64)
+        set_reg(warp, 2, 16)
+        run(warp, gmem, Opcode.SETP, pdst=0, srcs=(1, 2), cmp=CmpOp.LT)
+        assert warp.pred(0)[:16].all()
+        assert not warp.pred(0)[16:].any()
+
+    def test_setp_immediate_form(self, warp, gmem):
+        warp.regs[1] = np.arange(32, dtype=np.int64)
+        run(warp, gmem, Opcode.SETP, pdst=1, srcs=(1,), imm=4,
+            cmp=CmpOp.GE)
+        assert not warp.pred(1)[:4].any()
+        assert warp.pred(1)[4:].all()
+
+    @pytest.mark.parametrize("cmp,expected", [
+        (CmpOp.EQ, [False, True, False]),
+        (CmpOp.NE, [True, False, True]),
+        (CmpOp.LE, [True, True, False]),
+        (CmpOp.GT, [False, False, True]),
+    ])
+    def test_all_comparators(self, warp, gmem, cmp, expected):
+        warp.regs[1] = np.array([0, 5, 9] + [0] * 29, dtype=np.int64)
+        run(warp, gmem, Opcode.SETP, pdst=0, srcs=(1,), imm=5, cmp=cmp)
+        assert warp.pred(0)[:3].tolist() == expected
+
+
+class TestGuards:
+    def test_guarded_write_merges(self, warp, gmem):
+        warp.preds[0] = np.array([True] * 16 + [False] * 16)
+        set_reg(warp, 0, 1)
+        inst = Instruction(Opcode.MOVI, dst=0, imm=9, guard=PredGuard(0))
+        execute(inst, warp, gmem)
+        assert (warp.reg(0)[:16] == 9).all()
+        assert (warp.reg(0)[16:] == 1).all()
+
+    def test_negated_guard(self, warp, gmem):
+        warp.preds[0] = np.array([True] * 16 + [False] * 16)
+        inst = Instruction(
+            Opcode.MOVI, dst=0, imm=9, guard=PredGuard(0, negated=True)
+        )
+        execute(inst, warp, gmem)
+        assert (warp.reg(0)[:16] == 0).all()
+        assert (warp.reg(0)[16:] == 9).all()
+
+    def test_effective_mask_respects_simt_mask(self, warp, gmem):
+        warp.stack.exit_lanes(0xFFFF0000)
+        inst = Instruction(Opcode.MOVI, dst=0, imm=9)
+        mask = effective_mask(warp, inst)
+        assert mask[:16].all()
+        assert not mask[16:].any()
+
+
+class TestMemoryOps:
+    def test_global_store_load_roundtrip(self, warp, gmem):
+        warp.regs[1] = np.arange(32, dtype=np.int64) * 4 + 0x100
+        set_reg(warp, 2, 77)
+        run(warp, gmem, Opcode.STG, srcs=(1, 2), space=MemSpace.GLOBAL)
+        run(warp, gmem, Opcode.LDG, dst=3, srcs=(1,),
+            space=MemSpace.GLOBAL)
+        assert (warp.reg(3) == 77).all()
+
+    def test_offset_applied(self, warp, gmem):
+        set_reg(warp, 1, 0x100)
+        set_reg(warp, 2, 5)
+        run(warp, gmem, Opcode.STG, srcs=(1, 2), offset=8,
+            space=MemSpace.GLOBAL)
+        assert gmem.peek(0x108) == 5
+
+    def test_shared_memory_per_cta(self, warp, gmem):
+        set_reg(warp, 1, 0)
+        set_reg(warp, 2, 13)
+        run(warp, gmem, Opcode.STS, srcs=(1, 2), space=MemSpace.SHARED)
+        run(warp, gmem, Opcode.LDS, dst=3, srcs=(1,),
+            space=MemSpace.SHARED)
+        assert (warp.reg(3) == 13).all()
+        assert len(gmem) == 0  # did not touch global
+
+
+class TestBranchesAndSpecials:
+    def test_unguarded_branch_returns_active_mask(self, warp, gmem):
+        taken = run(warp, gmem, Opcode.BRA, target_pc=5)
+        assert taken == warp.active_mask
+
+    def test_guarded_branch_returns_predicate_lanes(self, warp, gmem):
+        warp.preds[0] = np.array([True, False] * 16)
+        inst = Instruction(Opcode.BRA, target_pc=5, guard=PredGuard(0))
+        taken = execute(inst, warp, gmem)
+        assert taken == sum(1 << i for i in range(0, 32, 2))
+
+    def test_s2r_values(self, warp, gmem):
+        assert (special_value(warp, Special.TID)
+                == np.arange(32) + 32).all()
+        assert (special_value(warp, Special.CTAID) == 3).all()
+        assert (special_value(warp, Special.NTID) == 64).all()
+        assert (special_value(warp, Special.NCTAID) == 10).all()
+        assert (special_value(warp, Special.LANEID)
+                == np.arange(32)).all()
+        assert (special_value(warp, Special.WARPID) == 1).all()
+
+    def test_array_to_mask(self):
+        lanes = np.zeros(32, dtype=bool)
+        lanes[0] = lanes[5] = lanes[31] = True
+        assert array_to_mask(lanes) == (1 | 1 << 5 | 1 << 31)
+
+    def test_nop_and_meta_do_nothing(self, warp, gmem):
+        before = dict(warp.regs)
+        assert run(warp, gmem, Opcode.NOP) is None
+        assert run(warp, gmem, Opcode.PIR) is None
+        assert warp.regs == before

@@ -1,0 +1,59 @@
+"""GPU driver tests: grid distribution, multi-SM merge."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.errors import SimulationError
+from repro.launch import LaunchConfig
+from repro.sim.gpu import GPU, simulate
+
+
+def test_round_robin_cta_distribution(straight_kernel):
+    launch = LaunchConfig(40, 32, conc_ctas_per_sm=2)
+    gpu = GPU(GPUConfig.baseline(), straight_kernel, launch,
+              mode="baseline")
+    # 40 CTAs over 16 SMs: SM 0 gets ctaids 0, 16, 32.
+    assert gpu.cores[0].cta_queue == [0, 16, 32]
+    assert gpu.ctas_simulated == 3
+
+
+def test_wave_cap_limits_ctas(straight_kernel):
+    launch = LaunchConfig(64, 32, conc_ctas_per_sm=2)
+    gpu = GPU(GPUConfig.baseline(), straight_kernel, launch,
+              mode="baseline", max_ctas_per_sm_sim=2)
+    assert len(gpu.cores[0].cta_queue) == 2
+
+
+def test_multi_sm_merges_stats(straight_kernel):
+    launch = LaunchConfig(32, 32, conc_ctas_per_sm=2)
+    single = GPU(GPUConfig.baseline(), straight_kernel.clone(), launch,
+                 mode="baseline", sim_sms=1).run()
+    double = GPU(GPUConfig.baseline(), straight_kernel.clone(), launch,
+                 mode="baseline", sim_sms=2).run()
+    assert double.stats.ctas_completed == 2 * single.stats.ctas_completed
+    assert double.stats.instructions == 2 * single.stats.instructions
+
+
+def test_invalid_sim_sms_rejected(straight_kernel):
+    launch = LaunchConfig(4, 32)
+    with pytest.raises(SimulationError):
+        GPU(GPUConfig.baseline(), straight_kernel, launch, sim_sms=0)
+    with pytest.raises(SimulationError):
+        GPU(GPUConfig.baseline(), straight_kernel, launch, sim_sms=17)
+
+
+def test_result_fields(straight_kernel):
+    launch = LaunchConfig(4, 32, conc_ctas_per_sm=1)
+    result = simulate(straight_kernel.clone(), launch, mode="baseline")
+    assert result.mode == "baseline"
+    assert result.cycles == result.stats.cycles
+    assert result.instructions == result.stats.instructions
+    assert result.launch is launch
+
+
+def test_shared_global_memory_across_sms(barrier_kernel):
+    launch = LaunchConfig(32, 64, conc_ctas_per_sm=1)
+    gpu = GPU(GPUConfig.baseline(), barrier_kernel, launch,
+              mode="baseline", sim_sms=2)
+    gpu.run()
+    assert len(gpu.gmem) > 0

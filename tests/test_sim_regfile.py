@@ -1,0 +1,190 @@
+"""Physical register file tests: allocation, gating, accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import GPUConfig
+from repro.errors import RegisterFileError
+from repro.sim.regfile import PhysicalRegisterFile
+from repro.sim.stats import SimStats
+
+
+def make_regfile(**overrides):
+    config = GPUConfig.renamed(**overrides)
+    stats = SimStats()
+    return PhysicalRegisterFile(config, stats), stats
+
+
+class TestAllocation:
+    def test_allocate_in_preferred_bank(self):
+        regfile, _ = make_regfile()
+        phys, penalty = regfile.allocate(bank=2, now=0)
+        assert regfile.bank_of(phys) == 2
+        assert penalty == 0  # gating disabled
+
+    def test_lowest_row_first(self):
+        regfile, _ = make_regfile()
+        first, _ = regfile.allocate(0, 0)
+        second, _ = regfile.allocate(0, 0)
+        assert second == first + 1
+
+    def test_free_then_reallocate_reuses_lowest(self):
+        regfile, _ = make_regfile()
+        first, _ = regfile.allocate(0, 0)
+        regfile.allocate(0, 0)
+        regfile.free(first, 0)
+        again, _ = regfile.allocate(0, 0)
+        assert again == first
+
+    def test_bank_fallback_when_preferred_full(self):
+        regfile, stats = make_regfile()
+        for _ in range(regfile.regs_per_bank):
+            regfile.allocate(0, 0)
+        phys, _ = regfile.allocate(0, 0)
+        assert regfile.bank_of(phys) != 0
+        assert stats.bank_fallbacks == 1
+
+    def test_exhaustion_returns_none(self):
+        regfile, _ = make_regfile()
+        for _ in range(regfile.total):
+            assert regfile.allocate(0, 0) is not None
+        assert regfile.allocate(0, 0) is None
+        assert regfile.free_count == 0
+
+    def test_double_free_rejected(self):
+        regfile, _ = make_regfile()
+        phys, _ = regfile.allocate(0, 0)
+        regfile.free(phys, 0)
+        with pytest.raises(RegisterFileError):
+            regfile.free(phys, 0)
+
+    def test_live_count_and_max(self):
+        regfile, stats = make_regfile()
+        regs = [regfile.allocate(0, 0)[0] for _ in range(5)]
+        assert regfile.live_count == 5
+        regfile.free(regs[0], 0)
+        assert regfile.live_count == 4
+        assert stats.max_live_registers == 5
+
+    def test_touched_monotonic(self):
+        regfile, stats = make_regfile()
+        phys, _ = regfile.allocate(0, 0)
+        regfile.free(phys, 0)
+        regfile.allocate(0, 0)
+        assert stats.physical_registers_touched == 1
+
+
+class TestGating:
+    def test_waking_dark_subarray_costs_latency(self):
+        regfile, stats = make_regfile(
+            gating_enabled=True, wakeup_latency_cycles=3
+        )
+        _, penalty = regfile.allocate(0, 0)
+        assert penalty == 3
+        assert stats.subarray_wakeups == 1
+
+    def test_second_allocation_in_lit_subarray_is_free(self):
+        regfile, stats = make_regfile(gating_enabled=True)
+        regfile.allocate(0, 0)
+        _, penalty = regfile.allocate(0, 0)
+        assert penalty == 0
+        assert stats.subarray_wakeups == 1
+
+    def test_consolidation_prefers_lit_subarrays(self):
+        regfile, stats = make_regfile(gating_enabled=True)
+        allocated = [regfile.allocate(0, 0)[0] for _ in range(10)]
+        subarrays = {
+            (p % regfile.regs_per_bank) // regfile.regs_per_subarray
+            for p in allocated
+        }
+        assert subarrays == {0}
+
+    def test_subarray_powers_off_when_empty(self):
+        regfile, stats = make_regfile(gating_enabled=True)
+        phys, _ = regfile.allocate(0, 0)
+        regfile.free(phys, 5)
+        _, penalty = regfile.allocate(0, 10)
+        assert penalty > 0  # had to wake again
+        assert stats.subarray_wakeups == 2
+
+    def test_active_cycles_integral(self):
+        regfile, stats = make_regfile(gating_enabled=True)
+        phys, _ = regfile.allocate(0, 0)
+        regfile.free(phys, 100)
+        regfile.finalize(200)
+        # One subarray powered for cycles 0..100 only.
+        assert stats.subarray_active_cycles == pytest.approx(100)
+
+    def test_no_gating_all_subarrays_always_on(self):
+        regfile, stats = make_regfile(gating_enabled=False)
+        regfile.finalize(100)
+        assert stats.subarray_active_cycles == pytest.approx(
+            100 * regfile.config.total_subarrays
+        )
+
+
+class TestAccessAccounting:
+    def test_reads_and_writes_counted_per_bank(self):
+        regfile, stats = make_regfile()
+        phys, _ = regfile.allocate(1, 0)
+        regfile.read(phys)
+        regfile.read(phys)
+        regfile.write(phys)
+        assert stats.rf_reads == 2
+        assert stats.rf_writes == 1
+        assert stats.rf_bank_accesses[1] == 3
+
+
+class TestShrunkGeometry:
+    def test_shrunk_file_has_half_capacity(self):
+        config = GPUConfig.shrunk(0.5)
+        regfile = PhysicalRegisterFile(config, SimStats())
+        assert regfile.total == 512
+        count = 0
+        while regfile.allocate(count % 4, 0) is not None:
+            count += 1
+        assert count == 512
+
+
+class TestInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=120))
+    def test_alloc_free_conservation(self, banks):
+        """Allocate per the random bank sequence, free everything:
+        the file must return to fully free with unique physical ids."""
+        regfile, _ = make_regfile(gating_enabled=True)
+        allocated = []
+        for bank in banks:
+            result = regfile.allocate(bank, 0)
+            assert result is not None
+            allocated.append(result[0])
+        assert len(set(allocated)) == len(allocated)
+        assert regfile.free_count == regfile.total - len(allocated)
+        for phys in allocated:
+            regfile.free(phys, 0)
+        assert regfile.free_count == regfile.total
+        assert regfile.live_count == 0
+
+
+class TestScatterPolicy:
+    def test_scatter_spreads_across_subarrays(self):
+        regfile, _ = make_regfile(
+            gating_enabled=True, allocation_policy="scatter"
+        )
+        allocated = [regfile.allocate(0, 0)[0] for _ in range(8)]
+        subarrays = {
+            (p % regfile.regs_per_bank) // regfile.regs_per_subarray
+            for p in allocated
+        }
+        assert len(subarrays) == regfile.subs_per_bank
+
+    def test_scatter_wakes_more_subarrays(self):
+        packed, packed_stats = make_regfile(gating_enabled=True)
+        spread, spread_stats = make_regfile(
+            gating_enabled=True, allocation_policy="scatter"
+        )
+        for _ in range(8):
+            packed.allocate(0, 0)
+            spread.allocate(0, 0)
+        assert spread_stats.subarray_wakeups > packed_stats.subarray_wakeups

@@ -1,0 +1,50 @@
+"""Release flag cache tests (Section 7.2)."""
+
+from repro.sim.release_cache import ReleaseFlagCache
+
+
+def test_cold_miss_then_hit():
+    cache = ReleaseFlagCache(10)
+    assert not cache.probe(5)
+    cache.install(5)
+    assert cache.probe(5)
+    assert cache.hits == 1
+    assert cache.misses == 1
+
+
+def test_direct_mapped_conflict():
+    cache = ReleaseFlagCache(10)
+    cache.install(5)
+    cache.install(15)  # same index, different tag
+    assert not cache.probe(5)
+    assert cache.probe(15)
+
+
+def test_distinct_indices_coexist():
+    cache = ReleaseFlagCache(10)
+    for pc in range(10):
+        cache.install(pc)
+    assert all(cache.probe(pc) for pc in range(10))
+
+
+def test_zero_entries_disables_cache():
+    cache = ReleaseFlagCache(0)
+    cache.install(5)
+    assert not cache.probe(5)
+    assert cache.misses == 1
+    assert cache.hits == 0
+
+
+def test_flush_clears_lines():
+    cache = ReleaseFlagCache(4)
+    cache.install(2)
+    cache.flush()
+    assert not cache.probe(2)
+
+
+def test_single_entry_cache():
+    cache = ReleaseFlagCache(1)
+    cache.install(7)
+    assert cache.probe(7)
+    cache.install(8)
+    assert not cache.probe(7)

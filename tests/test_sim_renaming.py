@@ -1,0 +1,219 @@
+"""Renaming table tests: flags mode, redefine mode, spill support."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.errors import RenamingError
+from repro.sim.regfile import PhysicalRegisterFile
+from repro.sim.renaming import RenamingTable
+from repro.sim.stats import SimStats
+
+
+def make_table(mode="flags", threshold=0, config=None, tracer=None):
+    config = config or GPUConfig.renamed()
+    stats = SimStats()
+    regfile = PhysicalRegisterFile(config, stats)
+    table = RenamingTable(
+        config, regfile, stats, threshold=threshold, mode=mode,
+        tracer=tracer,
+    )
+    return table, regfile, stats
+
+
+class TestFlagsMode:
+    def test_write_allocates_once(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(0, cta_id=0, now=0)
+        first, _ = table.write(0, 5, now=0)
+        second, _ = table.write(0, 5, now=1)
+        assert first == second
+        assert regfile.live_count == 1
+
+    def test_read_returns_mapping(self):
+        table, _, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        phys, _ = table.write(0, 5, 0)
+        assert table.read(0, 5, 1) == phys
+
+    def test_unmapped_read_returns_none(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        assert table.read(0, 9, 0) is None
+        assert regfile.live_count == 0
+
+    def test_release_frees_register(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        table.write(0, 5, 0)
+        assert table.release(0, 5, 1)
+        assert regfile.live_count == 0
+        assert not table.is_mapped(0, 5)
+
+    def test_release_unmapped_is_noop(self):
+        table, _, stats = make_table()
+        table.launch_warp(0, 0, 0)
+        assert not table.release(0, 5, 0)
+        assert stats.wasted_releases == 1
+
+    def test_rewrite_after_release_allocates_fresh(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        table.write(0, 5, 0)
+        table.release(0, 5, 1)
+        table.write(0, 5, 2)
+        assert regfile.live_count == 1
+
+    def test_bank_follows_compiler_assignment(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(3, 0, 0)
+        phys, _ = table.write(3, 5, 0)
+        assert regfile.bank_of(phys) == (5 + 3) % 4
+
+    def test_cross_warp_sharing(self):
+        """Warp 1 reuses the register warp 0 released (Fig. 2b)."""
+        table, regfile, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        table.launch_warp(4, 0, 0)  # same bank skew as warp 0
+        phys0, _ = table.write(0, 5, 0)
+        table.release(0, 5, 1)
+        phys1, _ = table.write(4, 1, 2)  # (1+4)%4 == (5+0)%4
+        assert phys1 == phys0
+
+    def test_finish_warp_frees_everything(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        table.write(0, 1, 0)
+        table.write(0, 2, 0)
+        table.finish_warp(0, 1)
+        assert regfile.live_count == 0
+
+
+class TestThreshold:
+    def test_exempt_registers_pinned_at_launch(self):
+        table, regfile, _ = make_table(threshold=3)
+        table.launch_warp(0, 0, 0)
+        assert regfile.live_count == 3
+        for arch in range(3):
+            assert table.read(0, arch, 0) is not None
+
+    def test_exempt_write_reuses_pinned(self):
+        table, regfile, _ = make_table(threshold=2)
+        table.launch_warp(0, 0, 0)
+        phys, penalty = table.write(0, 1, 0)
+        assert penalty == 0
+        assert regfile.live_count == 2
+
+    def test_exempt_release_is_noop(self):
+        table, regfile, _ = make_table(threshold=2)
+        table.launch_warp(0, 0, 0)
+        assert not table.release(0, 1, 0)
+        assert regfile.live_count == 2
+
+    def test_exempt_reads_bypass_table_stats(self):
+        table, _, stats = make_table(threshold=2)
+        table.launch_warp(0, 0, 0)
+        before = stats.renaming_reads
+        table.read(0, 0, 0)
+        assert stats.renaming_reads == before
+
+
+class TestRedefineMode:
+    def test_release_ignored(self):
+        table, regfile, _ = make_table(mode="redefine")
+        table.launch_warp(0, 0, 0)
+        table.write(0, 5, 0)
+        assert not table.release(0, 5, 1)
+        assert regfile.live_count == 1
+
+    def test_redefinition_recycles(self):
+        table, regfile, _ = make_table(mode="redefine")
+        table.launch_warp(0, 0, 0)
+        table.write(0, 5, 0)
+        table.write(0, 5, 1)
+        assert regfile.live_count == 1
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(RenamingError):
+            make_table(mode="bogus")
+
+
+class TestCtaCounters:
+    def test_current_and_cumulative_assignment(self):
+        table, _, _ = make_table()
+        table.launch_warp(0, cta_id=7, now=0)
+        table.write(0, 1, 0)
+        table.write(0, 2, 0)
+        table.release(0, 1, 1)
+        assert table.cta_allocated[7] == 1
+        assert table.cta_assigned[7] == 2  # cumulative (Section 8.1)
+        table.write(0, 1, 2)  # re-map a previously assigned register
+        assert table.cta_assigned[7] == 2  # still cumulative-unique
+
+    def test_forget_cta(self):
+        table, _, _ = make_table()
+        table.launch_warp(0, cta_id=7, now=0)
+        table.write(0, 1, 0)
+        table.finish_warp(0, 1)
+        table.forget_cta(7)
+        assert 7 not in table.cta_allocated
+        assert 7 not in table.cta_assigned
+
+
+class TestSpillSupport:
+    def test_spill_frees_and_fill_restores(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(0, 0, 0)
+        table.write(0, 1, 0)
+        table.write(0, 2, 0)
+        regs = table.spill_warp(0, 1)
+        assert regs == (1, 2)
+        assert regfile.live_count == 0
+        assert table.fill_warp(0, regs, 2)
+        assert regfile.live_count == 2
+
+    def test_fill_is_all_or_nothing(self):
+        config = GPUConfig.shrunk(0.5)
+        table, regfile, _ = make_table(config=config)
+        table.launch_warp(0, 0, 0)
+        table.write(0, 1, 0)
+        regs = table.spill_warp(0, 0)
+        # Exhaust the file so the fill cannot complete.
+        while regfile.allocate(0, 0) is not None:
+            pass
+        assert not table.fill_warp(0, regs, 1)
+        assert table.mapped_count(0) == 0
+
+
+class TestTracer:
+    def test_def_and_release_events(self):
+        events = []
+
+        def tracer(slot, arch, event, cycle):
+            events.append((slot, arch, event, cycle))
+
+        table, _, _ = make_table(tracer=tracer)
+        table.launch_warp(0, 0, 0)
+        table.write(0, 5, 3)
+        table.write(0, 5, 4)  # in-place rewrite still traces a def
+        table.release(0, 5, 9)
+        assert (0, 5, "def", 3) in events
+        assert (0, 5, "def", 4) in events
+        assert (0, 5, "release", 9) in events
+
+
+class TestBankPreservation:
+    def test_bank_agnostic_uses_least_occupied(self):
+        config = GPUConfig.renamed(bank_preserving_renaming=False)
+        table, regfile, _ = make_table(config=config)
+        table.launch_warp(0, 0, 0)
+        # Pre-load bank 0 heavily via direct allocation.
+        for _ in range(100):
+            regfile.allocate(0, 0)
+        phys, _ = table.write(0, 0, 0)  # compiler bank would be 0
+        assert regfile.bank_of(phys) != 0
+
+    def test_bank_preserving_is_default(self):
+        table, regfile, _ = make_table()
+        table.launch_warp(1, 0, 0)
+        phys, _ = table.write(1, 6, 0)
+        assert regfile.bank_of(phys) == (6 + 1) % 4

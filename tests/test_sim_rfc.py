@@ -1,0 +1,148 @@
+"""Register-file-cache baseline tests ([20])."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.errors import ConfigError, SimulationError
+from repro.sim import simulate
+from repro.sim.rfc import RegisterFileCache
+from repro.sim.stats import SimStats
+from repro.workloads import get_workload
+
+
+def make_rfc(entries=3):
+    stats = SimStats()
+    rfc = RegisterFileCache(entries, stats)
+    rfc.attach_warp(0)
+    return rfc, stats
+
+
+class TestCacheBehaviour:
+    def test_read_miss_then_hit_after_write(self):
+        rfc, stats = make_rfc()
+        assert not rfc.read(0, 5)
+        rfc.write(0, 5)
+        assert rfc.read(0, 5)
+        assert stats.rfc_reads == 1
+        assert stats.rfc_writes == 1
+
+    def test_lru_eviction_order(self):
+        rfc, _ = make_rfc(entries=2)
+        assert rfc.write(0, 1) is None
+        assert rfc.write(0, 2) is None
+        evicted = rfc.write(0, 3)  # evicts r1 (dirty)
+        assert evicted == 1
+        assert not rfc.read(0, 1)
+        assert rfc.read(0, 2)
+
+    def test_read_refreshes_lru(self):
+        rfc, _ = make_rfc(entries=2)
+        rfc.write(0, 1)
+        rfc.write(0, 2)
+        rfc.read(0, 1)  # r1 becomes most-recent
+        evicted = rfc.write(0, 3)
+        assert evicted == 2
+
+    def test_rewrite_does_not_evict(self):
+        rfc, _ = make_rfc(entries=2)
+        rfc.write(0, 1)
+        rfc.write(0, 2)
+        assert rfc.write(0, 1) is None
+        assert rfc.resident(0) == 2
+
+    def test_flush_writes_back_dirty_lines(self):
+        rfc, stats = make_rfc()
+        rfc.write(0, 1)
+        rfc.write(0, 2)
+        writebacks = rfc.flush_warp(0)
+        assert sorted(writebacks) == [1, 2]
+        assert stats.rfc_flushes == 1
+        assert rfc.resident(0) == 0
+        assert not rfc.read(0, 1)
+
+    def test_detach_returns_dirty_lines(self):
+        rfc, _ = make_rfc()
+        rfc.write(0, 7)
+        assert rfc.detach_warp(0) == [7]
+
+    def test_flush_empty_warp_is_noop(self):
+        rfc, stats = make_rfc()
+        assert rfc.flush_warp(0) == []
+        assert stats.rfc_flushes == 0
+
+    def test_per_warp_isolation(self):
+        rfc, _ = make_rfc()
+        rfc.attach_warp(1)
+        rfc.write(0, 5)
+        assert not rfc.read(1, 5)
+
+
+class TestIntegration:
+    def test_rfc_reduces_mrf_traffic(self):
+        workload = get_workload("blackscholes", scale=0.5)
+        plain = simulate(
+            workload.kernel.clone(), workload.launch,
+            mode="baseline", max_ctas_per_sm_sim=1,
+        )
+        config = GPUConfig.baseline(rfc_entries_per_warp=6)
+        cached = simulate(
+            workload.kernel.clone(), workload.launch, config,
+            mode="baseline", max_ctas_per_sm_sim=1,
+        )
+        plain_mrf = plain.stats.rf_reads + plain.stats.rf_writes
+        cached_mrf = cached.stats.rf_reads + cached.stats.rf_writes
+        assert cached_mrf < plain_mrf
+        assert cached.stats.rfc_reads > 0
+        # Functional behaviour identical.
+        assert cached.instructions == plain.instructions
+
+    def test_writeback_conservation(self):
+        """Every dirty line eventually reaches the MRF: RFC writes ==
+        writebacks + lines dropped... since all lines are dirty and all
+        warps finish, writebacks never exceed writes."""
+        workload = get_workload("matrixmul", scale=0.5)
+        config = GPUConfig.baseline(rfc_entries_per_warp=4)
+        result = simulate(
+            workload.kernel.clone(), workload.launch, config,
+            mode="baseline", max_ctas_per_sm_sim=1,
+        )
+        assert 0 < result.stats.rfc_writebacks <= result.stats.rfc_writes
+
+    def test_rfc_rejected_with_renaming_config(self):
+        with pytest.raises(ConfigError):
+            GPUConfig.renamed(rfc_entries_per_warp=6)
+
+    def test_rfc_rejected_in_renaming_mode(self, loop_kernel):
+        from repro.launch import LaunchConfig
+
+        config = GPUConfig.baseline(rfc_entries_per_warp=6).replace(
+            renaming_enabled=False
+        )
+        with pytest.raises(SimulationError):
+            simulate(loop_kernel.clone(), LaunchConfig(1, 32),
+                     config, mode="redefine")
+
+    def test_negative_entries_rejected(self):
+        with pytest.raises(ConfigError):
+            GPUConfig.baseline(rfc_entries_per_warp=-1)
+
+
+class TestEnergy:
+    def test_rfc_access_cheaper_than_mrf(self):
+        from repro.power import RegisterFilePowerModel
+
+        model = RegisterFilePowerModel(GPUConfig.baseline())
+        assert model.rfc_access_energy_pj(6) < model.access_energy_pj() / 2
+
+    def test_energy_breakdown_includes_rfc(self):
+        from repro.power import energy_breakdown
+
+        stats = SimStats()
+        stats.cycles = 1000
+        stats.rf_reads = 100
+        stats.rfc_reads = 500
+        stats.rfc_writes = 200
+        config = GPUConfig.baseline(rfc_entries_per_warp=6)
+        energy = energy_breakdown(stats, config, renaming_active=False)
+        assert energy.rfc > 0
+        assert energy.total > energy.dynamic + energy.static

@@ -1,0 +1,178 @@
+"""Two-level warp scheduler tests."""
+
+from repro.sim.scheduler import WarpScheduler
+from repro.sim.warp import WarpStatus
+
+
+class FakeCta:
+    def __init__(self, uid):
+        self.uid = uid
+
+
+class FakeWarp:
+    def __init__(self, slot, cta_uid=0):
+        self.slot = slot
+        self.cta = FakeCta(cta_uid)
+        self.status = WarpStatus.ACTIVE
+        self.outstanding_mem = 0
+
+    def __repr__(self):
+        return f"W{self.slot}"
+
+
+def make(ready_size=3, count=6, cta_uid=0):
+    sched = WarpScheduler(0, ready_size)
+    warps = [FakeWarp(i, cta_uid) for i in range(count)]
+    for warp in warps:
+        sched.add(warp)
+    return sched, warps
+
+
+def test_ready_queue_fills_first():
+    sched, warps = make()
+    assert sched.ready == warps[:3]
+    assert sched.pending == warps[3:]
+
+
+def test_demote_moves_to_pending():
+    sched, warps = make()
+    sched.demote(warps[0])
+    assert warps[0] not in sched.ready
+    assert warps[0] in sched.pending
+
+
+def test_refill_promotes_when_slot_free():
+    sched, warps = make()
+    sched.demote(warps[0])
+    sched.refill()
+    assert warps[3] in sched.ready
+
+
+def test_refill_skips_memory_pending_warps():
+    sched, warps = make()
+    sched.demote(warps[0])
+    warps[3].outstanding_mem = 1
+    sched.refill()
+    assert warps[3] not in sched.ready
+    assert warps[4] in sched.ready
+
+
+def test_refill_skips_non_active_warps():
+    sched, warps = make()
+    sched.demote(warps[0])
+    warps[3].status = WarpStatus.AT_BARRIER
+    sched.refill()
+    assert warps[3] not in sched.ready
+
+
+def test_round_robin_rotates():
+    sched, warps = make()
+    first = next(iter(sched.candidates()))
+    sched.issued(first)
+    second = next(iter(sched.candidates()))
+    assert second is not first
+
+
+def test_candidates_cover_all_ready():
+    sched, warps = make()
+    assert list(sched.candidates()) == warps[:3]
+
+
+def test_remove_warp():
+    sched, warps = make()
+    sched.remove(warps[1])
+    assert warps[1] not in sched.ready
+    sched.remove(warps[4])
+    assert warps[4] not in sched.pending
+
+
+def test_prefer_cta_evicts_other_cta_warp():
+    sched = WarpScheduler(0, ready_size=2)
+    other = [FakeWarp(i, cta_uid=1) for i in range(2)]
+    restricted = FakeWarp(10, cta_uid=2)
+    for warp in other:
+        sched.add(warp)
+    sched.add(restricted)  # lands in pending
+    sched.refill(prefer_cta=2)
+    assert restricted in sched.ready
+    assert sum(1 for w in sched.ready if w.cta.uid == 1) == 1
+
+
+def test_prefer_cta_noop_when_already_ready():
+    sched, warps = make(cta_uid=5)
+    before = list(sched.ready)
+    sched.refill(prefer_cta=5)
+    assert sched.ready == before
+
+
+def test_prefer_cta_ignores_blocked_candidates():
+    sched = WarpScheduler(0, ready_size=1)
+    sched.add(FakeWarp(0, cta_uid=1))
+    blocked = FakeWarp(1, cta_uid=2)
+    blocked.outstanding_mem = 1
+    sched.add(blocked)
+    sched.refill(prefer_cta=2)
+    assert blocked not in sched.ready
+
+
+def test_has_warps():
+    sched, warps = make()
+    assert sched.has_warps
+    for warp in warps:
+        sched.remove(warp)
+    assert not sched.has_warps
+
+
+class TestPolicies:
+    def test_loose_rr_never_demotes(self):
+        sched = WarpScheduler(0, 3, policy="loose_rr")
+        warps = [FakeWarp(i) for i in range(6)]
+        for warp in warps:
+            sched.add(warp)
+        assert sched.ready == warps  # flat queue
+        sched.demote(warps[0])
+        assert warps[0] in sched.ready
+
+    def test_gto_sticks_to_greedy_warp(self):
+        sched = WarpScheduler(0, 3, policy="gto")
+        warps = [FakeWarp(i) for i in range(4)]
+        for warp in warps:
+            sched.add(warp)
+        first = next(iter(sched.candidates()))
+        sched.issued(first)
+        assert next(iter(sched.candidates())) is first
+
+    def test_gto_falls_back_to_oldest(self):
+        sched = WarpScheduler(0, 3, policy="gto")
+        warps = [FakeWarp(i) for i in (3, 1, 2)]
+        for warp in warps:
+            sched.add(warp)
+        sched.issued(warps[2])  # slot 2 becomes greedy
+        sched.demote(warps[2])  # greedy warp stalls
+        assert next(iter(sched.candidates())).slot == 1
+
+    def test_gto_remove_clears_greedy(self):
+        sched = WarpScheduler(0, 3, policy="gto")
+        warp = FakeWarp(0)
+        sched.add(warp)
+        sched.issued(warp)
+        sched.remove(warp)
+        assert sched._greedy is None
+
+
+def test_policy_changes_cycle_counts():
+    from repro.arch import GPUConfig
+    from repro.sim import simulate
+    from repro.workloads import get_workload
+
+    workload = get_workload("matrixmul", scale=0.5)
+    cycles = {}
+    for policy in ("two_level", "loose_rr", "gto"):
+        config = GPUConfig.baseline(scheduler_policy=policy)
+        result = simulate(
+            workload.kernel.clone(), workload.launch, config,
+            mode="baseline", max_ctas_per_sm_sim=2,
+        )
+        cycles[policy] = result.cycles
+        assert result.stats.ctas_completed == 2
+    assert len(set(cycles.values())) > 1  # policies actually differ

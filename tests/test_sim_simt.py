@@ -1,0 +1,117 @@
+"""SIMT reconvergence stack tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.simt import SimtStack
+
+FULL = 0xFFFFFFFF
+
+
+def test_initial_state():
+    stack = SimtStack(entry_pc=0, full_mask=FULL)
+    assert stack.pc == 0
+    assert stack.active_mask == FULL
+    assert not stack.diverged
+    assert stack.depth == 1
+
+
+def test_uniform_taken_branch():
+    stack = SimtStack(0, FULL)
+    diverged = stack.branch(FULL, target_pc=10, fallthrough_pc=1,
+                            reconv_pc=20)
+    assert not diverged
+    assert stack.pc == 10
+    assert stack.depth == 1
+
+
+def test_uniform_not_taken_branch():
+    stack = SimtStack(0, FULL)
+    diverged = stack.branch(0, 10, 1, 20)
+    assert not diverged
+    assert stack.pc == 1
+
+
+def test_divergent_branch_executes_taken_first():
+    stack = SimtStack(0, FULL)
+    taken = 0x0000FFFF
+    diverged = stack.branch(taken, 10, 1, 20)
+    assert diverged
+    assert stack.depth == 3
+    assert stack.pc == 10
+    assert stack.active_mask == taken
+
+
+def test_reconvergence_restores_full_mask():
+    stack = SimtStack(0, FULL)
+    taken = 0x0000FFFF
+    stack.branch(taken, 10, 1, 20)
+    stack.pc = 20  # taken side reaches reconvergence
+    stack.maybe_reconverge()
+    assert stack.active_mask == FULL & ~taken  # fallthrough side
+    assert stack.pc == 1
+    stack.pc = 20
+    stack.maybe_reconverge()
+    assert stack.active_mask == FULL
+    assert stack.pc == 20
+    assert not stack.diverged
+
+
+def test_nested_divergence():
+    stack = SimtStack(0, FULL)
+    stack.branch(0x0000FFFF, 10, 1, 40)
+    stack.branch(0x000000FF, 20, 11, 30)
+    assert stack.depth == 5
+    assert stack.active_mask == 0x000000FF
+    stack.pc = 30
+    stack.maybe_reconverge()
+    assert stack.active_mask == 0x0000FF00
+    stack.pc = 30
+    stack.maybe_reconverge()
+    # Inner divergence fully reconverged: the outer taken entry now
+    # continues from the inner reconvergence point with its full mask.
+    assert stack.pc == 30
+    assert stack.active_mask == 0x0000FFFF
+    stack.pc = 40
+    stack.maybe_reconverge()
+    assert stack.active_mask == 0xFFFF0000  # outer fallthrough side
+
+
+def test_taken_mask_must_be_subset():
+    stack = SimtStack(0, 0x0F)
+    with pytest.raises(SimulationError):
+        stack.branch(0xF0, 10, 1, 20)
+
+
+def test_exit_all_lanes_finishes_warp():
+    stack = SimtStack(0, FULL)
+    assert stack.exit_lanes(FULL)
+
+
+def test_partial_exit_keeps_warp_alive():
+    stack = SimtStack(0, FULL)
+    assert not stack.exit_lanes(0x1)
+    assert stack.active_mask == FULL & ~0x1
+
+
+def test_exit_on_diverged_side_pops_to_sibling():
+    stack = SimtStack(0, FULL)
+    taken = 0x0000FFFF
+    stack.branch(taken, 10, 1, 20)
+    done = stack.exit_lanes(taken)
+    assert not done
+    assert stack.active_mask == FULL & ~taken
+    assert stack.pc == 1
+
+
+def test_exit_of_both_sides_finishes():
+    stack = SimtStack(0, FULL)
+    taken = 0x0000FFFF
+    stack.branch(taken, 10, 1, 20)
+    stack.exit_lanes(taken)
+    assert stack.exit_lanes(FULL & ~taken)
+
+
+def test_partial_warp_mask():
+    stack = SimtStack(0, full_mask=(1 << 9) - 1)  # 9 active threads
+    assert stack.active_mask == 0x1FF

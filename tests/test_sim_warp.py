@@ -1,0 +1,105 @@
+"""Warp state tests: functional registers, scoreboard, masks."""
+
+import numpy as np
+
+from repro.isa import Instruction, Opcode, PredGuard
+from repro.sim.warp import Warp, WarpStatus
+
+
+class FakeCta:
+    index = 0
+    ctaid = 0
+    num_threads = 64
+    grid_ctas = 1
+    shared = None
+
+
+def make_warp(active=32):
+    return Warp(slot=2, cta=FakeCta(), warp_in_cta=1, warp_size=32,
+                active_threads=active)
+
+
+def test_tids_offset_by_warp_position():
+    warp = make_warp()
+    assert warp.tids[0] == 32
+    assert warp.tids[31] == 63
+
+
+def test_registers_default_to_zero():
+    warp = make_warp()
+    assert (warp.reg(5) == 0).all()
+
+
+def test_write_reg_respects_mask():
+    warp = make_warp()
+    mask = np.array([True] * 8 + [False] * 24)
+    warp.write_reg(0, np.full(32, 9, dtype=np.int64), mask)
+    assert (warp.reg(0)[:8] == 9).all()
+    assert (warp.reg(0)[8:] == 0).all()
+
+
+def test_predicates_default_false():
+    warp = make_warp()
+    assert not warp.pred(3).any()
+
+
+def test_partial_warp_mask_array():
+    warp = make_warp(active=9)
+    mask = warp.mask_array()
+    assert mask[:9].all()
+    assert not mask[9:].any()
+
+
+def test_scoreboard_blocks_raw_hazard():
+    warp = make_warp()
+    producer = Instruction(Opcode.MOVI, dst=1, imm=5)
+    consumer = Instruction(Opcode.MOV, dst=2, srcs=(1,))
+    warp.scoreboard_mark(producer)
+    assert not warp.scoreboard_ready(consumer)
+    warp.scoreboard_clear(producer)
+    assert warp.scoreboard_ready(consumer)
+
+
+def test_scoreboard_blocks_waw_hazard():
+    warp = make_warp()
+    first = Instruction(Opcode.MOVI, dst=1, imm=5)
+    second = Instruction(Opcode.MOVI, dst=1, imm=6)
+    warp.scoreboard_mark(first)
+    assert not warp.scoreboard_ready(second)
+
+
+def test_scoreboard_tracks_predicates():
+    from repro.isa import CmpOp
+
+    warp = make_warp()
+    setp = Instruction(Opcode.SETP, pdst=0, srcs=(1,), imm=3,
+                       cmp=CmpOp.LT)
+    guarded = Instruction(Opcode.MOVI, dst=2, imm=1, guard=PredGuard(0))
+    warp.scoreboard_mark(setp)
+    assert not warp.scoreboard_ready(guarded)
+    warp.scoreboard_clear(setp)
+    assert warp.scoreboard_ready(guarded)
+
+
+def test_scoreboard_independent_instructions_pass():
+    warp = make_warp()
+    producer = Instruction(Opcode.MOVI, dst=1, imm=5)
+    unrelated = Instruction(Opcode.MOVI, dst=3, imm=7)
+    warp.scoreboard_mark(producer)
+    assert warp.scoreboard_ready(unrelated)
+
+
+def test_schedulable_only_when_active():
+    warp = make_warp()
+    assert warp.schedulable
+    warp.status = WarpStatus.AT_BARRIER
+    assert not warp.schedulable
+    warp.status = WarpStatus.SPILLED
+    assert not warp.schedulable
+
+
+def test_pc_proxies_stack():
+    warp = make_warp()
+    warp.pc = 17
+    assert warp.stack.pc == 17
+    assert warp.pc == 17

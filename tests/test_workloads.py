@@ -1,0 +1,147 @@
+"""Workload suite tests: Table 1 fidelity + every kernel runs."""
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.compiler import compile_kernel
+from repro.errors import ConfigError
+from repro.sim import simulate
+from repro.workloads import TABLE1, all_workload_names, get_workload
+
+ALL_NAMES = all_workload_names()
+
+
+def test_sixteen_benchmarks():
+    assert len(ALL_NAMES) == 16
+
+
+def test_unknown_workload_rejected():
+    with pytest.raises(ConfigError):
+        get_workload("nonesuch")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_register_count_matches_table1(name):
+    workload = get_workload(name)
+    assert workload.kernel.num_regs == TABLE1[name].regs_per_kernel
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_launch_matches_table1(name):
+    workload = get_workload(name)
+    row = TABLE1[name]
+    assert workload.launch.grid_ctas == row.ctas
+    assert workload.launch.threads_per_cta == row.threads_per_cta
+    assert workload.launch.conc_ctas_per_sm == row.conc_ctas_per_sm
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_kernel_validates(name):
+    get_workload(name).kernel.validate()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_registers_within_fermi_limit(name):
+    workload = get_workload(name)
+    assert max(workload.kernel.registers_used()) <= 62
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_runs_to_completion_baseline(name):
+    workload = get_workload(name, scale=0.25)
+    result = simulate(
+        workload.kernel.clone(), workload.launch,
+        mode="baseline", max_ctas_per_sm_sim=1,
+    )
+    assert result.stats.ctas_completed >= 1
+    assert result.stats.warps_completed >= 1
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_functional_equivalence_across_modes(name):
+    """Identical dynamic instruction counts in all register modes."""
+    workload = get_workload(name, scale=0.25)
+    launch = workload.launch
+    base = simulate(
+        workload.kernel.clone(), launch, mode="baseline",
+        max_ctas_per_sm_sim=1,
+    )
+    config = GPUConfig.shrunk(0.5)
+    compiled = compile_kernel(workload.kernel, launch, config)
+    shrunk = simulate(
+        compiled.kernel, launch, config, mode="flags",
+        threshold=compiled.renaming_threshold, max_ctas_per_sm_sim=1,
+    )
+    redefine = simulate(
+        workload.kernel.clone(), launch, GPUConfig.renamed(),
+        mode="redefine", max_ctas_per_sm_sim=1,
+    )
+    assert base.instructions == shrunk.instructions
+    assert base.instructions == redefine.instructions
+
+
+def test_scale_changes_dynamic_length_not_registers():
+    short = get_workload("matrixmul", scale=0.5)
+    long = get_workload("matrixmul", scale=2.0)
+    assert short.kernel.num_regs == long.kernel.num_regs
+    short_run = simulate(short.kernel.clone(), short.launch,
+                         mode="baseline", max_ctas_per_sm_sim=1)
+    long_run = simulate(long.kernel.clone(), long.launch,
+                        mode="baseline", max_ctas_per_sm_sim=1)
+    assert long_run.instructions > short_run.instructions
+
+
+def test_vectoradd_is_shortest_kernel():
+    sizes = {
+        name: len(get_workload(name).kernel) for name in ALL_NAMES
+    }
+    assert min(sizes, key=sizes.get) == "vectoradd"
+
+
+def test_heartwall_has_most_registers():
+    assert max(
+        ALL_NAMES, key=lambda n: TABLE1[n].regs_per_kernel
+    ) == "heartwall"
+
+
+def test_divergent_benchmarks_diverge():
+    for name in ("bfs", "mum"):
+        workload = get_workload(name, scale=0.25)
+        result = simulate(
+            workload.kernel.clone(), workload.launch,
+            mode="baseline", max_ctas_per_sm_sim=1,
+        )
+        assert result.stats.divergent_branches > 0
+
+
+def test_barrier_benchmarks_use_barriers():
+    for name in ("matrixmul", "reduction", "lps"):
+        workload = get_workload(name, scale=0.25)
+        result = simulate(
+            workload.kernel.clone(), workload.launch,
+            mode="baseline", max_ctas_per_sm_sim=1,
+        )
+        assert result.stats.barriers > 0
+
+
+def test_mum_has_dependent_load_chain():
+    """MUM's tree walk derives each load address from the previous
+    load's result — the pointer-chasing signature that makes it
+    memory-bound in the paper."""
+    from repro.isa.opcodes import Opcode
+
+    kernel = get_workload("mum").kernel
+    instructions = kernel.instructions
+    load_dsts = set()
+    derived = set()
+    found_dependent_load = False
+    for inst in instructions:
+        if inst.opcode is Opcode.LDG:
+            if inst.srcs[0] in load_dsts | derived:
+                found_dependent_load = True
+            load_dsts.add(inst.dst)
+        elif inst.dst is not None and (
+            set(inst.srcs) & (load_dsts | derived)
+        ):
+            derived.add(inst.dst)
+    assert found_dependent_load
