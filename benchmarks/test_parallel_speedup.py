@@ -1,0 +1,58 @@
+"""Serial vs. parallel simulation wall time.
+
+Runs the same 4-SM simulation through ``GPU.run(jobs=1)`` and
+``GPU.run(jobs=4)``, records both wall times on the benchmark record,
+and — on machines with enough cores for the pool to matter — asserts
+the parallel path is measurably faster. Either way the two runs must
+produce identical statistics (the parallel layer's core contract).
+"""
+
+import os
+import time
+
+from repro.arch import GPUConfig
+from repro.sim.gpu import GPU
+from repro.workloads import get_workload
+
+SIM_SMS = 4
+JOBS = 4
+
+
+def _run(jobs: int):
+    workload = get_workload("matrixmul", scale=1.0)
+    gpu = GPU(
+        GPUConfig.baseline(),
+        workload.kernel.clone(),
+        workload.launch,
+        mode="baseline",
+        sim_sms=SIM_SMS,
+        max_ctas_per_sm_sim=4,
+    )
+    started = time.perf_counter()
+    result = gpu.run(jobs=jobs)
+    return time.perf_counter() - started, result
+
+
+def test_parallel_speedup(benchmark):
+    serial_time, serial = _run(jobs=1)
+
+    def parallel_run():
+        return _run(jobs=JOBS)
+
+    parallel_time, parallel = benchmark.pedantic(
+        parallel_run, rounds=1, iterations=1, warmup_rounds=0
+    )
+
+    cpus = os.cpu_count() or 1
+    benchmark.extra_info["serial_seconds"] = round(serial_time, 3)
+    benchmark.extra_info["parallel_seconds"] = round(parallel_time, 3)
+    benchmark.extra_info["speedup"] = round(serial_time / parallel_time, 2)
+    benchmark.extra_info["cpus"] = cpus
+
+    # The contract that makes the speedup meaningful: identical stats.
+    assert serial.stats == parallel.stats
+    if cpus >= 2:
+        # Process fan-out must beat the serial loop when cores exist;
+        # on a single-CPU machine the pool can only add overhead, so
+        # there we only record the two wall times.
+        assert parallel_time < serial_time

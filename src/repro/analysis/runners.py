@@ -11,11 +11,18 @@ Every experiment needs the same four flows:
 ``waves`` caps how many CTA waves per SM are simulated
 (``waves x concurrent CTAs``); two waves reach steady state while
 keeping the pure-Python simulations fast.
+
+:func:`run_sweep` fans a list of independent flow specifications out
+across worker processes (``jobs``) through :mod:`repro.parallel`,
+returning results in input order — the building block for multi-config
+design-space sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+from repro.parallel import parallel_map
 
 from repro.arch import GPUConfig
 from repro.baselines.compiler_spill import (
@@ -118,3 +125,38 @@ def run_compiler_spill_baseline(
         max_ctas_per_sm_sim=_wave_cap(workload, waves),
         **kwargs,
     )
+
+
+#: Flow names accepted by :func:`run_sweep` specs.
+FLOWS = {
+    "baseline": run_baseline,
+    "virtualized": run_virtualized,
+    "hardware_only": run_hardware_only_baseline,
+    "compiler_spill": run_compiler_spill_baseline,
+}
+
+
+def run_flow(spec: tuple) -> object:
+    """Worker entry point: run one ``(flow, workload[, kwargs])`` spec."""
+    flow, workload, *rest = spec
+    kwargs = rest[0] if rest else {}
+    try:
+        runner = FLOWS[flow]
+    except KeyError:
+        known = ", ".join(FLOWS)
+        raise ValueError(f"unknown flow '{flow}'; known: {known}") from None
+    return runner(workload, **kwargs)
+
+
+def run_sweep(
+    specs: list[tuple[str, Workload, dict]],
+    jobs: int = 1,
+) -> list[object]:
+    """Run independent flow specs, optionally across processes.
+
+    Each spec is ``(flow, workload, kwargs)`` with ``flow`` one of
+    :data:`FLOWS`. Results come back in input order regardless of
+    ``jobs``, and ``jobs=1`` produces the identical objects a plain
+    loop over the flow functions would.
+    """
+    return parallel_map(run_flow, list(specs), jobs)

@@ -5,10 +5,13 @@ Usage::
     python -m repro.experiments.runner                 # run everything
     python -m repro.experiments.runner fig10 fig11a    # a subset
     python -m repro.experiments.runner --quick fig12   # reduced scale
+    python -m repro.experiments.runner --jobs 4        # process fan-out
 
 ``--quick`` shortens workload loops and simulates a single CTA wave,
 for smoke-testing the harness; published comparisons should use the
-default settings.
+default settings. ``--jobs N`` regenerates independent experiments
+across N worker processes (``--jobs 0`` means one per CPU); output is
+printed in request order either way.
 """
 
 from __future__ import annotations
@@ -19,7 +22,15 @@ import re
 import sys
 import time
 
+from repro.errors import ConfigError
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.parallel import (
+    ExperimentJob,
+    ExperimentOutcome,
+    parallel_map,
+    resolve_jobs,
+    run_experiment_job,
+)
 
 
 def _slug(text: str) -> str:
@@ -68,6 +79,11 @@ def main(argv: list[str] | None = None) -> int:
         "--chart", action="store_true",
         help="also draw figure experiments as ASCII bar charts",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for independent experiments "
+             "(0 = one per CPU; default 1, fully serial)",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or list(EXPERIMENTS)
@@ -79,11 +95,19 @@ def main(argv: list[str] | None = None) -> int:
     if args.waves is not None:
         options["waves"] = args.waves
 
+    try:
+        jobs = resolve_jobs(args.jobs)
+    except ValueError as exc:
+        parser.error(str(exc))
+    # Validate names up front so a typo fails before any work is spent.
     for name in names:
-        run = get_experiment(name)
-        started = time.time()
-        result = run(**options)
-        elapsed = time.time() - started
+        try:
+            get_experiment(name)
+        except ConfigError as exc:
+            parser.error(str(exc))
+
+    def report(outcome: ExperimentOutcome) -> None:
+        result = outcome.result
         print(result.render())
         if args.chart:
             from repro.analysis.charts import chart_for
@@ -95,8 +119,19 @@ def main(argv: list[str] | None = None) -> int:
         if args.csv:
             for path in _export_csv(result, pathlib.Path(args.csv)):
                 print(f"csv: {path}")
-        print(f"({elapsed:.1f}s)")
+        print(f"({outcome.elapsed:.1f}s)")
         print()
+
+    specs = [ExperimentJob(name, options) for name in names]
+    if jobs > 1 and len(specs) > 1:
+        started = time.time()
+        for outcome in parallel_map(run_experiment_job, specs, jobs):
+            report(outcome)
+        print(f"total: {time.time() - started:.1f}s "
+              f"({jobs} worker processes)")
+    else:
+        for spec in specs:
+            report(run_experiment_job(spec))
     return 0
 
 

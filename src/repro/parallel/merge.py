@@ -1,0 +1,42 @@
+"""Deterministic reduction of per-core results.
+
+The merge order is part of the parallel layer's contract (the
+equivalence tests depend on it):
+
+1. Results are sorted by ascending ``sm_id`` — *not* completion
+   order — so the reduction is independent of worker scheduling.
+2. Counters accumulate via :meth:`SimStats.merge` in that order, which
+   makes float sums (``subarray_active_cycles``) reproducible.
+3. ``live_samples`` / ``lifetime_events`` are taken from the lowest
+   ``sm_id`` that recorded any (the driver only enables sampling and
+   tracing on SM 0, so this preserves the serial ordering verbatim).
+4. Global-memory stores apply in the same ascending order; when two
+   SMs wrote the same word the highest ``sm_id`` wins, mirroring the
+   serial driver which runs cores in ascending order.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+if TYPE_CHECKING:  # sim imports this package: keep it import-cycle-free
+    from repro.parallel.jobs import CoreResult
+    from repro.sim.stats import SimStats
+
+
+def merge_core_results(
+    results: Iterable["CoreResult"],
+) -> tuple["SimStats", dict[int, int]]:
+    """Reduce per-core results into one ``SimStats`` and one store."""
+    from repro.sim.stats import SimStats
+
+    merged = SimStats()
+    store: dict[int, int] = {}
+    for result in sorted(results, key=lambda r: r.sm_id):
+        merged.merge(result.stats)
+        if not merged.live_samples and result.stats.live_samples:
+            merged.live_samples = list(result.stats.live_samples)
+        if not merged.lifetime_events and result.stats.lifetime_events:
+            merged.lifetime_events = list(result.stats.lifetime_events)
+        store.update(result.store)
+    return merged, store

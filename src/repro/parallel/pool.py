@@ -1,0 +1,46 @@
+"""Order-preserving process-pool map with a serial fallback.
+
+``parallel_map(fn, items, jobs)`` is the single primitive every
+fan-out in the repo uses. Guarantees:
+
+* results come back in input order regardless of completion order
+  (``ProcessPoolExecutor.map`` preserves ordering);
+* ``jobs <= 1`` — or a single item — runs everything in-process, so
+  the serial path exercises exactly the same worker functions;
+* worker exceptions propagate to the caller unchanged.
+
+``fn`` must be picklable by reference (a module-level function) and
+``items`` must pickle; see :mod:`repro.parallel.jobs`.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+_In = TypeVar("_In")
+_Out = TypeVar("_Out")
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``--jobs`` value: ``0``/``None`` means one per CPU."""
+    if not jobs:
+        return os.cpu_count() or 1
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[_In], _Out],
+    items: Iterable[_In],
+    jobs: int = 1,
+) -> list[_Out]:
+    """Map ``fn`` over ``items`` across ``jobs`` processes, in order."""
+    work: Sequence[_In] = list(items)
+    if jobs <= 1 or len(work) <= 1:
+        return [fn(item) for item in work]
+    workers = min(jobs, len(work))
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(fn, work))

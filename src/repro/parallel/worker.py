@@ -1,0 +1,59 @@
+"""Module-level worker entry points for the process pool.
+
+These functions are dispatched by reference through
+:func:`repro.parallel.pool.parallel_map`; they must stay at module
+level (picklable) and import the simulation/experiment layers lazily:
+``repro.sim.gpu`` and the analysis/experiment modules all import
+``repro.parallel``, so a top-level import here would be circular.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.parallel.jobs import (
+    CoreJob,
+    CoreResult,
+    ExperimentJob,
+    ExperimentOutcome,
+)
+
+
+def run_core_job(job: CoreJob) -> CoreResult:
+    """Simulate one SM core from a :class:`CoreJob` specification.
+
+    The worker builds a private :class:`GlobalMemory` from the job's
+    snapshot image, so cores never observe each other's stores — the
+    same isolation the serial path applies (see ``docs/INTERNALS.md``).
+    """
+    from repro.sim.core import SMCore
+    from repro.sim.memory import GlobalMemory
+
+    gmem = GlobalMemory()
+    gmem.restore(job.gmem_image)
+    core = SMCore(
+        job.config,
+        job.kernel,
+        job.launch,
+        mode=job.mode,
+        threshold=job.threshold,
+        gmem=gmem,
+        sample_interval=job.sample_interval,
+        trace_warp_slots=job.trace_warp_slots,
+        spill_enabled=job.spill_enabled,
+        sm_id=job.sm_id,
+    )
+    core.cta_queue = list(job.ctaids)
+    stats = core.run(max_cycles=job.max_cycles)
+    return CoreResult(sm_id=job.sm_id, stats=stats, store=gmem.image())
+
+
+def run_experiment_job(job: ExperimentJob) -> ExperimentOutcome:
+    """Regenerate one experiment (used by the runner's ``--jobs``)."""
+    from repro.experiments.registry import get_experiment
+
+    started = time.time()
+    result = get_experiment(job.name)(**job.options)
+    return ExperimentOutcome(
+        name=job.name, result=result, elapsed=time.time() - started
+    )

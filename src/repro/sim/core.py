@@ -249,6 +249,10 @@ class SMCore:
                         self.renaming.finish_warp(launched.slot, now)
                         self._free_warp_slots.append(launched.slot)
                     self._free_warp_slots.sort()
+                    # Drop the failed CTA's balance counters too, or
+                    # every failed launch leaks a cta_allocated /
+                    # cta_assigned entry for its never-resident uid.
+                    self.renaming.forget_cta(cta.uid)
                     for phys in cta.static_phys:
                         self.regfile.free(phys, now)
                     return False
@@ -442,13 +446,11 @@ class SMCore:
         if penalty is _ALLOC_FORBIDDEN:
             return _Issue.FORBIDDEN
         if penalty is _ALLOC_FAIL:
-            self._alloc_fail_streak += 1
             return _Issue.ALLOC
 
         taken = execute(inst, warp, self.gmem)
         self.stats.instructions += 1
         warp.last_issue_cycle = now
-        self._alloc_fail_streak = 0
 
         if self.renaming is not None and inst.release_srcs:
             for reg, flag in zip(inst.srcs, inst.release_srcs):
@@ -680,10 +682,16 @@ class SMCore:
 
         self.cycle = now + 1
         if issued_any:
+            self._alloc_fail_streak = 0
             return
-        if alloc_blocked and self._alloc_fail_streak >= SPILL_TRIGGER_CYCLES:
-            if self._maybe_spill(now):
-                return
+        # The streak counts *stalled cycles* with a failed allocation —
+        # at most one increment per cycle however many warps failed —
+        # so SPILL_TRIGGER_CYCLES means actual wall-clock stall time.
+        if alloc_blocked:
+            self._alloc_fail_streak += 1
+            if self._alloc_fail_streak >= SPILL_TRIGGER_CYCLES:
+                if self._maybe_spill(now):
+                    return
         self._idle_skip(alloc_blocked)
 
     def _spilled_pending(self) -> bool:

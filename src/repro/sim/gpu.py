@@ -8,6 +8,14 @@ CTAs a 16-SM GPU would assign it round-robin (ctaid = sm, sm+16, ...).
 experiments use a few waves of CTAs, which is enough for steady-state
 behaviour while keeping pure-Python simulation fast.
 
+Each core owns a *private* :class:`GlobalMemory` seeded from the
+driver's memory at run time; per-core stores merge back into
+``GPU.gmem`` in ascending SM order when the run completes. That
+isolation is what lets ``GPU.run(jobs=N)`` fan the cores out across a
+process pool (:mod:`repro.parallel`) while staying bit-identical to
+the serial path — both reduce through
+:func:`repro.parallel.merge.merge_core_results`.
+
 :func:`simulate` is the main entry point used by examples, tests and
 the benchmark harness.
 """
@@ -21,6 +29,10 @@ from repro.arch import GPUConfig
 from repro.errors import SimulationError
 from repro.isa.kernel import Kernel
 from repro.launch import LaunchConfig
+from repro.parallel.jobs import CoreJob, CoreResult
+from repro.parallel.merge import merge_core_results
+from repro.parallel.pool import parallel_map
+from repro.parallel.worker import run_core_job
 from repro.sim.core import SMCore
 from repro.sim.memory import GlobalMemory
 from repro.sim.stats import SimStats
@@ -67,22 +79,31 @@ class GPU:
         self.kernel = kernel
         self.launch = launch
         self.mode = mode
+        self.threshold = threshold
+        self.spill_enabled = spill_enabled
         self.gmem = GlobalMemory()
         self.cores: list[SMCore] = []
+        #: Per-core (sample_interval, trace_warp_slots) used to rebuild
+        #: the core as a picklable job spec for the process pool.
+        self._core_opts: list[tuple[int, tuple[int, ...]]] = []
         self.ctas_simulated = 0
         per_sm = math.ceil(launch.grid_ctas / config.num_sms)
         if max_ctas_per_sm_sim is not None:
             per_sm = min(per_sm, max_ctas_per_sm_sim)
         for sm in range(sim_sms):
+            opts = (
+                sample_interval if sm == 0 else 0,
+                trace_warp_slots if sm == 0 else (),
+            )
             core = SMCore(
                 config,
                 kernel,
                 launch,
                 mode=mode,
                 threshold=threshold,
-                gmem=self.gmem,
-                sample_interval=sample_interval if sm == 0 else 0,
-                trace_warp_slots=trace_warp_slots if sm == 0 else (),
+                gmem=GlobalMemory(),
+                sample_interval=opts[0],
+                trace_warp_slots=opts[1],
                 spill_enabled=spill_enabled,
                 sm_id=sm,
             )
@@ -94,21 +115,52 @@ class GPU:
             core.cta_queue = ctaids
             self.ctas_simulated += len(ctaids)
             self.cores.append(core)
+            self._core_opts.append(opts)
 
-    def run(self, max_cycles: int = 50_000_000) -> SimulationResult:
-        merged = SimStats()
-        for core in self.cores:
-            stats = core.run(max_cycles=max_cycles)
-            if len(self.cores) == 1:
-                merged = stats
-            else:
-                merged.merge(stats)
-                merged.live_samples = (
-                    merged.live_samples or stats.live_samples
+    def _core_jobs(self, max_cycles: int,
+                   gmem_image: dict[int, int]) -> list[CoreJob]:
+        """Picklable job specs mirroring the constructed cores."""
+        return [
+            CoreJob(
+                sm_id=core.sm_id,
+                config=self.config,
+                kernel=self.kernel,
+                launch=self.launch,
+                mode=self.mode,
+                threshold=self.threshold,
+                ctaids=tuple(core.cta_queue),
+                sample_interval=opts[0],
+                trace_warp_slots=opts[1],
+                spill_enabled=self.spill_enabled,
+                max_cycles=max_cycles,
+                gmem_image=gmem_image,
+            )
+            for core, opts in zip(self.cores, self._core_opts)
+        ]
+
+    def run(self, max_cycles: int = 50_000_000,
+            jobs: int = 1) -> SimulationResult:
+        """Simulate every core; ``jobs > 1`` uses a process pool.
+
+        The parallel path is bit-identical to the serial one: each
+        core (in either path) starts from the same global-memory
+        snapshot and results reduce in ascending SM order.
+        """
+        base_image = self.gmem.image()
+        if jobs > 1 and len(self.cores) > 1:
+            results = parallel_map(
+                run_core_job, self._core_jobs(max_cycles, base_image), jobs
+            )
+        else:
+            results = []
+            for core in self.cores:
+                core.gmem.restore(base_image)
+                stats = core.run(max_cycles=max_cycles)
+                results.append(
+                    CoreResult(core.sm_id, stats, core.gmem.image())
                 )
-                merged.lifetime_events = (
-                    merged.lifetime_events or stats.lifetime_events
-                )
+        merged, store = merge_core_results(results)
+        self.gmem.restore(store)
         return SimulationResult(
             stats=merged,
             config=self.config,
@@ -130,6 +182,7 @@ def simulate(
     trace_warp_slots: tuple[int, ...] = (),
     spill_enabled: bool = True,
     max_cycles: int = 50_000_000,
+    jobs: int = 1,
 ) -> SimulationResult:
     """Simulate one kernel launch and return its statistics.
 
@@ -137,7 +190,8 @@ def simulate(
     pin-per-CTA), ``flags`` (the paper's virtualization; the kernel
     should be compiled with release metadata and ``threshold`` set to
     the compile-time exemption count), or ``redefine`` (hardware-only
-    renaming [46]).
+    renaming [46]). ``jobs`` fans the simulated SMs out across a
+    process pool (``jobs=1`` is fully serial; results are identical).
     """
     gpu = GPU(
         config or GPUConfig.baseline(),
@@ -151,4 +205,4 @@ def simulate(
         trace_warp_slots=trace_warp_slots,
         spill_enabled=spill_enabled,
     )
-    return gpu.run(max_cycles=max_cycles)
+    return gpu.run(max_cycles=max_cycles, jobs=jobs)

@@ -51,12 +51,21 @@ class WarpScheduler:
 
     def remove(self, warp: Warp) -> None:
         if warp in self.ready:
-            self.ready.remove(warp)
+            self._drop_ready(warp)
         elif warp in self.pending:
             self.pending.remove(warp)
         if self._greedy is warp:
             self._greedy = None
-        self._rr = 0
+
+    def _drop_ready(self, warp: Warp) -> None:
+        """Take a warp out of the ready queue, keeping the round-robin
+        pointer aimed at the same next warp relative to the survivors
+        (resetting it would bias issue toward low queue indices)."""
+        index = self.ready.index(warp)
+        self.ready.pop(index)
+        if index < self._rr:
+            self._rr -= 1
+        self._rr = self._rr % len(self.ready) if self.ready else 0
 
     def demote(self, warp: Warp) -> None:
         """Move a warp from the ready queue to the pending queue.
@@ -69,9 +78,8 @@ class WarpScheduler:
                 self._greedy = None
             return
         if warp in self.ready:
-            self.ready.remove(warp)
+            self._drop_ready(warp)
             self.pending.append(warp)
-            self._rr = 0
 
     def refill(self, prefer_cta: int | None = None) -> None:
         """Promote schedulable pending warps into free ready slots.
@@ -118,9 +126,8 @@ class WarpScheduler:
             )
             if victim is None:
                 return
-            self.ready.remove(victim)
+            self._drop_ready(victim)
             self.pending.append(victim)
-            self._rr = 0
         self.pending.remove(candidate)
         self.ready.append(candidate)
 

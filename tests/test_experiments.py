@@ -90,8 +90,11 @@ def test_fig11a_shrink_beats_spill():
     assert shrink_avg < spill_avg
     assert shrink_avg < 10.0  # near-zero overhead
     rows = {row[0]: row for row in result.table.rows}
-    assert rows["vectoradd"][2] == pytest.approx(0.0, abs=0.01)
-    assert rows["vectoradd"][3] == pytest.approx(0.0, abs=0.01)
+    # vectoradd fits the shrunk file: overhead is noise-level (the
+    # fair round-robin pointer shifts interleavings by a fraction of
+    # a percent), never the spill baseline's double-digit slowdown.
+    assert rows["vectoradd"][2] == pytest.approx(0.0, abs=1.0)
+    assert rows["vectoradd"][3] == pytest.approx(0.0, abs=1.0)
 
 
 def test_fig11b_small_overhead():

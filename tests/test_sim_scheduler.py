@@ -123,6 +123,50 @@ def test_has_warps():
     assert not sched.has_warps
 
 
+class TestRoundRobinFairness:
+    """Regressions for the pointer reset on remove/demote, which biased
+    issue toward low ready-queue indices after every demotion."""
+
+    def test_demote_after_pointer_keeps_next_warp(self):
+        sched, warps = make(ready_size=3, count=3)
+        sched.issued(warps[0])  # pointer now aims at w1
+        sched.demote(warps[2])  # demotion elsewhere must not move it
+        assert next(iter(sched.candidates())) is warps[1]
+
+    def test_demote_before_pointer_shifts_it_back(self):
+        sched, warps = make(ready_size=3, count=3)
+        sched.issued(warps[1])  # pointer now aims at w2
+        sched.demote(warps[0])  # survivor indices shift down by one
+        assert next(iter(sched.candidates())) is warps[2]
+
+    def test_remove_preserves_pointer(self):
+        sched, warps = make(ready_size=4, count=4)
+        sched.issued(warps[2])  # pointer aims at w3
+        sched.remove(warps[0])
+        assert next(iter(sched.candidates())) is warps[3]
+
+    def test_issue_alternates_while_peer_thrashes(self):
+        """w2 bounces between ready and pending (a memory warp); the
+        other two must keep alternating rather than w0 hogging issue."""
+        sched, warps = make(ready_size=3, count=3)
+        counts = {0: 0, 1: 0, 2: 0}
+        for _ in range(10):
+            warp = next(iter(sched.candidates()))
+            sched.issued(warp)
+            counts[warp.slot] += 1
+            sched.demote(warps[2])
+            sched.refill()
+        assert counts[0] == counts[1] == 5
+
+    def test_pointer_valid_after_queue_empties(self):
+        sched, warps = make(ready_size=2, count=2)
+        sched.issued(warps[1])
+        for warp in warps:
+            sched.remove(warp)
+        assert sched._rr == 0
+        assert list(sched.candidates()) == []
+
+
 class TestPolicies:
     def test_loose_rr_never_demotes(self):
         sched = WarpScheduler(0, 3, policy="loose_rr")
