@@ -38,7 +38,7 @@ def main() -> None:
             overhead = 100 * (
                 result.result.cycles / base.result.cycles - 1
             )
-            throttled = result.stats.throttle_activations
+            throttled = result.stats.throttle_cycles
             marker = "*" if throttled else " "
             cells.append(f"{overhead:+9.2f}%{marker}")
         spill = run_compiler_spill_baseline(workload)

@@ -1,0 +1,287 @@
+"""Persistent hot-path benchmark harness.
+
+Runs a fixed workload sample through the three register-management
+modes (``baseline``, ``flags``, ``redefine``) and reports simulated
+cycles per wall-clock second — the throughput of the simulator's issue
+hot path, which the per-kernel decode cache and incremental core
+bookkeeping exist to speed up. Only the simulation itself is timed;
+kernel compilation (the ``flags`` prerequisite) is measured separately
+and never counted against a mode's throughput.
+
+Usage::
+
+    python -m repro.analysis.bench                # full sample
+    python -m repro.analysis.bench --quick        # CI smoke variant
+    python -m repro.analysis.bench --validate BENCH_hotpath.json
+
+Results are written as JSON (default ``BENCH_hotpath.json`` in the
+current directory) so successive runs can be diffed; ``--validate``
+checks an existing result file against the schema and exits non-zero
+on structural errors, which is what CI's bench-smoke job gates on
+(speed itself is machine-dependent and never a failure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+from repro.arch import GPUConfig
+from repro.compiler import compile_kernel
+from repro.sim.gpu import simulate
+from repro.workloads.suite import Workload, get_workload
+
+#: Schema tag embedded in every result file; bump on layout changes.
+SCHEMA = "repro-bench-hotpath/1"
+
+#: The fixed sample: small/medium kernels spanning ALU-heavy
+#: (matrixmul), divergent (blackscholes) and barrier-heavy (reduction)
+#: behaviour, so all three issue-path shapes are exercised.
+DEFAULT_WORKLOADS = ("matrixmul", "blackscholes", "reduction")
+
+MODES = ("baseline", "flags", "redefine")
+
+
+def _wave_cap(workload: Workload, waves: int) -> int:
+    return waves * workload.table1.conc_ctas_per_sm
+
+
+def _bench_mode(
+    workload: Workload, mode: str, waves: int, repeats: int
+) -> dict:
+    """Time ``repeats`` simulations of one workload under one mode.
+
+    Returns the per-mode record: total simulated work, total wall time
+    of the ``simulate`` calls, and compile time (``flags`` only) kept
+    out of the timed region.
+    """
+    cap = _wave_cap(workload, waves)
+    compile_seconds = 0.0
+    if mode == "flags":
+        config = GPUConfig.renamed()
+        started = time.perf_counter()
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        compile_seconds = time.perf_counter() - started
+
+        def run():
+            return simulate(
+                compiled.kernel, workload.launch, config, mode="flags",
+                threshold=compiled.renaming_threshold,
+                max_ctas_per_sm_sim=cap,
+            )
+    elif mode == "redefine":
+        config = GPUConfig.renamed()
+
+        def run():
+            return simulate(
+                workload.kernel.clone(), workload.launch, config,
+                mode="redefine", max_ctas_per_sm_sim=cap,
+            )
+    else:
+        config = GPUConfig.baseline()
+
+        def run():
+            return simulate(
+                workload.kernel.clone(), workload.launch, config,
+                mode="baseline", max_ctas_per_sm_sim=cap,
+            )
+
+    wall = 0.0
+    cycles = 0
+    instructions = 0
+    for _ in range(repeats):
+        started = time.perf_counter()
+        result = run()
+        wall += time.perf_counter() - started
+        cycles += result.stats.cycles
+        instructions += result.stats.instructions
+    return {
+        "wall_seconds": wall,
+        "compile_seconds": compile_seconds,
+        "cycles": cycles,
+        "instructions": instructions,
+        "cycles_per_second": cycles / wall if wall > 0 else 0.0,
+        "runs": repeats,
+    }
+
+
+def run_benchmark(
+    workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    scale: float = 1.0,
+    waves: int = 2,
+    repeats: int = 1,
+    quick: bool = False,
+) -> dict:
+    """Run the full mode x workload matrix; returns the result dict."""
+    if quick:
+        scale = min(scale, 0.5)
+        waves = 1
+    built = [get_workload(name, scale=scale) for name in workloads]
+    modes: dict[str, dict] = {}
+    for mode in MODES:
+        wall = 0.0
+        cycles = 0
+        instructions = 0
+        per_workload = {}
+        for workload in built:
+            record = _bench_mode(workload, mode, waves, repeats)
+            per_workload[workload.name] = record
+            wall += record["wall_seconds"]
+            cycles += record["cycles"]
+            instructions += record["instructions"]
+        modes[mode] = {
+            "wall_seconds": wall,
+            "cycles": cycles,
+            "instructions": instructions,
+            "cycles_per_second": cycles / wall if wall > 0 else 0.0,
+            "runs": repeats,
+            "workloads": per_workload,
+        }
+    total_wall = sum(m["wall_seconds"] for m in modes.values())
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "scale": scale,
+        "waves": waves,
+        "workloads": list(w.name for w in built),
+        "modes": modes,
+        "total": {
+            "wall_seconds": total_wall,
+            "cycles": sum(m["cycles"] for m in modes.values()),
+        },
+    }
+
+
+#: (path, type) pairs every result file must contain.
+_REQUIRED_MODE_FIELDS = (
+    ("wall_seconds", (int, float)),
+    ("cycles", int),
+    ("instructions", int),
+    ("cycles_per_second", (int, float)),
+    ("runs", int),
+)
+
+
+def validate_bench(data: object) -> list[str]:
+    """Structural schema check; returns a list of error strings."""
+    errors: list[str] = []
+    if not isinstance(data, dict):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    if data.get("schema") != SCHEMA:
+        errors.append(
+            f"schema mismatch: expected {SCHEMA!r}, got "
+            f"{data.get('schema')!r}"
+        )
+    modes = data.get("modes")
+    if not isinstance(modes, dict):
+        errors.append("missing or non-object 'modes'")
+        return errors
+    for mode in MODES:
+        record = modes.get(mode)
+        if not isinstance(record, dict):
+            errors.append(f"modes.{mode}: missing or non-object")
+            continue
+        for field, types in _REQUIRED_MODE_FIELDS:
+            value = record.get(field)
+            if not isinstance(value, types) or isinstance(value, bool):
+                errors.append(
+                    f"modes.{mode}.{field}: expected "
+                    f"{types if isinstance(types, type) else 'number'}, "
+                    f"got {value!r}"
+                )
+        if isinstance(record.get("cycles"), int) and record["cycles"] <= 0:
+            errors.append(f"modes.{mode}.cycles: must be positive")
+    total = data.get("total")
+    if not isinstance(total, dict) or "wall_seconds" not in total:
+        errors.append("missing 'total.wall_seconds'")
+    if not isinstance(data.get("workloads"), list):
+        errors.append("missing or non-list 'workloads'")
+    return errors
+
+
+def _report(data: dict) -> str:
+    lines = [
+        f"hot-path benchmark ({', '.join(data['workloads'])}; "
+        f"scale={data['scale']}, waves={data['waves']})",
+        f"{'mode':<10} {'cycles':>12} {'wall (s)':>10} {'cycles/s':>12}",
+    ]
+    for mode in MODES:
+        record = data["modes"][mode]
+        lines.append(
+            f"{mode:<10} {record['cycles']:>12,} "
+            f"{record['wall_seconds']:>10.2f} "
+            f"{record['cycles_per_second']:>12,.1f}"
+        )
+    lines.append(f"total wall: {data['total']['wall_seconds']:.2f}s")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.analysis.bench",
+        description="Benchmark the simulator's issue hot path.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced scale and one CTA wave (CI smoke variant)",
+    )
+    parser.add_argument(
+        "--workloads", nargs="+", default=list(DEFAULT_WORKLOADS),
+        metavar="NAME", help="workload sample (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload loop-scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--waves", type=int, default=2,
+        help="CTA waves simulated per SM (default 2)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="simulations per (workload, mode) cell (default 1)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_hotpath.json", metavar="PATH",
+        help="result file (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--validate", metavar="PATH", default=None,
+        help="validate an existing result file and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.validate is not None:
+        path = pathlib.Path(args.validate)
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"invalid: {path}: {exc}", file=sys.stderr)
+            return 1
+        errors = validate_bench(data)
+        if errors:
+            for error in errors:
+                print(f"invalid: {path}: {error}", file=sys.stderr)
+            return 1
+        print(f"valid: {path}")
+        return 0
+
+    data = run_benchmark(
+        workloads=tuple(args.workloads),
+        scale=args.scale,
+        waves=args.waves,
+        repeats=args.repeats,
+        quick=args.quick,
+    )
+    print(_report(data))
+    out = pathlib.Path(args.out)
+    out.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

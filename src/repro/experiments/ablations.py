@@ -64,7 +64,10 @@ def _consolidation(scale: float, waves: int | None) -> Table:
 def _throttle(scale: float, waves: int | None) -> Table:
     table = Table(
         title="Ablation: GPU-shrink balance counter policy (50% RF)",
-        headers=["Workload", "Policy", "Overhead%", "ThrottledCycles"],
+        headers=[
+            "Workload", "Policy", "Overhead%", "Throttles",
+            "ThrottledCycles",
+        ],
     )
     for name in THROTTLE_WORKLOADS:
         workload = get_workload(name, scale=scale)
@@ -78,6 +81,7 @@ def _throttle(scale: float, waves: int | None) -> Table:
             table.add_row(
                 name, policy, overhead,
                 result.stats.throttle_activations,
+                result.stats.throttle_cycles,
             )
     return table
 

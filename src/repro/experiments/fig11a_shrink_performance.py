@@ -52,7 +52,7 @@ def run(
         title="Fig. 11a: execution-cycle increase vs the 128KB baseline",
         headers=[
             "Workload", "Fits64KB", "GPU-shrink%", "CompilerSpill%",
-            "Throttled", "Spills",
+            "Throttles", "ThrottledCycles", "Spills",
         ],
     )
     shrink_overheads = []
@@ -78,11 +78,12 @@ def run(
             shrink_pct,
             spill_pct,
             shrink.stats.throttle_activations,
+            shrink.stats.throttle_cycles,
             shrink.stats.spill_events,
         )
     avg_shrink = sum(shrink_overheads) / len(shrink_overheads)
     avg_spill = sum(spill_overheads) / len(spill_overheads)
-    table.add_row("AVG", "-", avg_shrink, avg_spill, "-", "-")
+    table.add_row("AVG", "-", avg_shrink, avg_spill, "-", "-", "-")
 
     # Section 9.2 also evaluates GPU-shrink-40% and -30% (fractions 0.6
     # and 0.7): with 50% already near zero, the extra registers add no

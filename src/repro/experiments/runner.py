@@ -11,7 +11,9 @@ Usage::
 for smoke-testing the harness; published comparisons should use the
 default settings. ``--jobs N`` regenerates independent experiments
 across N worker processes (``--jobs 0`` means one per CPU); output is
-printed in request order either way.
+printed in request order either way. ``--profile`` wraps the (serial)
+run in :mod:`cProfile`, prints the top 20 functions by cumulative time
+and saves ``profile.pstats`` for ``pstats``/``snakeviz``-style tools.
 """
 
 from __future__ import annotations
@@ -84,6 +86,13 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for independent experiments "
              "(0 = one per CPU; default 1, fully serial)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="profile the run under cProfile: print the top 20 "
+             "functions by cumulative time and save profile.pstats "
+             "(forces --jobs 1; subprocess work is invisible to the "
+             "profiler)",
+    )
     args = parser.parse_args(argv)
 
     names = args.experiments or list(EXPERIMENTS)
@@ -123,7 +132,21 @@ def main(argv: list[str] | None = None) -> int:
         print()
 
     specs = [ExperimentJob(name, options) for name in names]
-    if jobs > 1 and len(specs) > 1:
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+        for spec in specs:
+            report(run_experiment_job(spec))
+        profiler.disable()
+        out = pathlib.Path("profile.pstats")
+        profiler.dump_stats(out)
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.sort_stats("cumulative").print_stats(20)
+        print(f"profile: {out}")
+    elif jobs > 1 and len(specs) > 1:
         started = time.time()
         for outcome in parallel_map(run_experiment_job, specs, jobs):
             report(outcome)

@@ -25,6 +25,11 @@ def run_core_job(job: CoreJob) -> CoreResult:
     The worker builds a private :class:`GlobalMemory` from the job's
     snapshot image, so cores never observe each other's stores — the
     same isolation the serial path applies (see ``docs/INTERNALS.md``).
+
+    The per-kernel decode cache is *not* shipped across the process
+    boundary: the SMCore constructor rebuilds it from the pickled
+    kernel, one decode pass per job — cheap next to a core's run, and
+    identical derived data to what the serial cores share.
     """
     from repro.sim.core import SMCore
     from repro.sim.memory import GlobalMemory

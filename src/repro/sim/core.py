@@ -23,15 +23,22 @@ from __future__ import annotations
 import enum
 import heapq
 import itertools
+import os
 
 from repro.arch import GPUConfig
 from repro.compiler.banks import bank_of
 from repro.compiler.reconvergence import ensure_reconvergence
-from repro.errors import DeadlockError, SimulationError
+from repro.errors import DeadlockError, RenamingError, SimulationError
 from repro.isa.kernel import Kernel
 from repro.isa.opcodes import MemSpace, Opcode, Unit
 from repro.launch import LaunchConfig
-from repro.sim.execute import array_to_mask, effective_mask, execute
+from repro.sim.decode import DecodeCache, DecodedInst, build_decode_cache
+from repro.sim.execute import (
+    array_to_mask,
+    effective_mask,
+    execute,
+    execute_decoded,
+)
 from repro.sim.memory import GlobalMemory, MemoryUnit, SharedMemory
 from repro.sim.regfile import PhysicalRegisterFile
 from repro.sim.release_cache import ReleaseFlagCache
@@ -99,6 +106,7 @@ class SMCore:
         trace_warp_slots: tuple[int, ...] = (),
         spill_enabled: bool = True,
         sm_id: int = 0,
+        decode_cache: DecodeCache | None = None,
     ):
         if mode not in _MODES:
             raise SimulationError(f"unknown register mode '{mode}'")
@@ -178,7 +186,41 @@ class SMCore:
         self.sample_interval = sample_interval
         self._next_sample = 0
         self._alloc_fail_streak = 0
-        self._spilled: list[Warp] = []
+
+        # Incremental bookkeeping: each of these is derivable by a scan
+        # over resident CTAs/warps, but is maintained in place so the
+        # per-cycle hot path stays O(1) in warp and CTA count.
+        self._spilled_count = 0
+        self._stalled_wakeups: set[Warp] = set()
+        self._resident_required = 0
+        self._residency_version = 0
+        # GPU-shrink throttle memo: min-balance CTA keyed on
+        # (renaming.version, residency version), plus the currently
+        # restricted CTA so activations count *transitions* into
+        # throttling rather than throttled cycles.
+        self._throttle_key: tuple[int, int] | None = None
+        self._throttle_best: tuple[int, int] | None = None
+        self._throttled_cta: int | None = None
+
+        # Per-kernel decode cache (see repro.sim.decode): flat
+        # precomputed views of each static instruction, shareable across
+        # the cores of one GPU. ``REPRO_DECODE_CACHE=0`` falls back to
+        # the uncached issue path (kept verbatim as
+        # ``_try_issue_uncached``) for equivalence testing.
+        self._decode_cache: DecodeCache | None = None
+        self._decode: list[DecodedInst] | None = None
+        env = os.environ.get("REPRO_DECODE_CACHE", "1").strip().lower()
+        if env not in ("0", "off", "false"):
+            eff_threshold = threshold if mode == "flags" else 0
+            if decode_cache is not None and decode_cache.matches(
+                kernel, config.num_banks, eff_threshold, mode
+            ):
+                self._decode_cache = decode_cache
+            else:
+                self._decode_cache = build_decode_cache(
+                    kernel, config, eff_threshold, mode
+                )
+            self._decode = self._decode_cache.entries
 
     # ------------------------------------------------------------------ events
     def _push_event(self, cycle: int, kind: str, payload: tuple) -> None:
@@ -195,13 +237,19 @@ class SMCore:
                 warp, inst = payload
                 warp.scoreboard_clear(inst)
                 warp.outstanding_mem -= 1
+                if warp.outstanding_mem == 0:
+                    self.schedulers[
+                        warp.slot % len(self.schedulers)
+                    ].wake()
             elif kind == "spill_done":
                 (warp,) = payload
                 warp.status = WarpStatus.SPILLED
+                self._spilled_count += 1
             elif kind == "fill_done":
                 (warp,) = payload
                 warp.status = WarpStatus.ACTIVE
                 warp.spilled_regs = ()
+                self.schedulers[warp.slot % len(self.schedulers)].wake()
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {kind}")
 
@@ -269,9 +317,10 @@ class SMCore:
         self.cta_queue.pop(0)
         self._free_cta_slots.pop(0)
         self.resident.append(cta)
-        allocated = sum(c.required_regs for c in self.resident)
-        if allocated > self.stats.max_architected_allocated:
-            self.stats.max_architected_allocated = allocated
+        self._resident_required += cta.required_regs
+        self._residency_version += 1
+        if self._resident_required > self.stats.max_architected_allocated:
+            self.stats.max_architected_allocated = self._resident_required
         for warp in cta.warps:
             self.schedulers[warp.slot % len(self.schedulers)].add(warp)
         return True
@@ -283,12 +332,15 @@ class SMCore:
         if self.renaming is not None:
             self.renaming.forget_cta(cta.uid)
         self.resident.remove(cta)
+        self._resident_required -= cta.required_regs
+        self._residency_version += 1
         self._free_cta_slots.append(cta.slot)
         self._free_cta_slots.sort()
         self.stats.ctas_completed += 1
 
     def _finish_warp(self, warp: Warp, now: int) -> None:
         warp.status = WarpStatus.FINISHED
+        self._stalled_wakeups.discard(warp)
         self.schedulers[warp.slot % len(self.schedulers)].remove(warp)
         if self.renaming is not None:
             self.renaming.finish_warp(warp.slot, now)
@@ -307,6 +359,9 @@ class SMCore:
             for peer in cta.warps:
                 if peer.status is WarpStatus.AT_BARRIER:
                     peer.status = WarpStatus.ACTIVE
+                    self.schedulers[
+                        peer.slot % len(self.schedulers)
+                    ].wake()
 
     # ------------------------------------------------------------- throttling
     def _throttle(self) -> int | None:
@@ -314,29 +369,51 @@ class SMCore:
 
         Returns the uid of the only CTA allowed to issue, or ``None``
         when no restriction applies.
+
+        The min-balance CTA is memoized on (renaming counter version,
+        residency version): the balances only move when a register is
+        (de)allocated through the renaming table or a CTA launches or
+        completes, so the O(CTAs) scan reruns only then. The free-count
+        comparison is against live state every call.
+
+        ``stats.throttle_activations`` counts *transitions* into
+        throttling (per restricted CTA); ``stats.throttle_cycles``
+        counts every call that returns a restriction — which, with one
+        call per :meth:`tick`, is the number of throttled cycles.
         """
+        renaming = self.renaming
         if (
-            self.renaming is None
+            renaming is None
             or not self.config.is_underprovisioned
             or not self.resident
         ):
+            self._throttled_cta = None
             return None
-        counters = (
-            self.renaming.cta_assigned
-            if self.config.throttle_policy == "assigned"
-            else self.renaming.cta_allocated
-        )
-        best_cta = None
-        min_balance = None
-        for cta in self.resident:
-            balance = cta.required_regs - counters.get(cta.uid, 0)
-            if min_balance is None or balance < min_balance:
-                min_balance = balance
-                best_cta = cta
+        key = (renaming.version, self._residency_version)
+        if key != self._throttle_key:
+            counters = (
+                renaming.cta_assigned
+                if self.config.throttle_policy == "assigned"
+                else renaming.cta_allocated
+            )
+            best_cta = None
+            min_balance = None
+            for cta in self.resident:
+                balance = cta.required_regs - counters.get(cta.uid, 0)
+                if min_balance is None or balance < min_balance:
+                    min_balance = balance
+                    best_cta = cta
+            self._throttle_key = key
+            self._throttle_best = (best_cta.uid, min_balance)
+        best_uid, min_balance = self._throttle_best
         if self.regfile.free_count > max(0, min_balance):
+            self._throttled_cta = None
             return None
-        self.stats.throttle_activations += 1
-        return best_cta.uid
+        self.stats.throttle_cycles += 1
+        if self._throttled_cta != best_uid:
+            self.stats.throttle_activations += 1
+            self._throttled_cta = best_uid
+        return best_uid
 
     # ------------------------------------------------------------------ spill
     def _maybe_spill(self, now: int) -> bool:
@@ -382,6 +459,8 @@ class SMCore:
                     continue
                 if self.renaming.fill_warp(warp.slot, warp.spilled_regs, now):
                     warp.status = WarpStatus.FILLING
+                    if self._spilled_count:
+                        self._spilled_count -= 1
                     duration = (
                         self.config.spill_latency + len(warp.spilled_regs)
                     )
@@ -393,7 +472,7 @@ class SMCore:
         if not self.sample_interval:
             return
         while self._next_sample <= now:
-            allocated = sum(cta.required_regs for cta in self.resident)
+            allocated = self._resident_required
             live = (
                 self.regfile.live_count
                 if self.renaming is not None
@@ -407,6 +486,257 @@ class SMCore:
     # -------------------------------------------------------------------- issue
     def _try_issue(self, warp: Warp, now: int,
                    forbid_alloc: bool = False) -> _Issue:
+        """Attempt to issue one instruction from ``warp``.
+
+        Dispatches to the decode-cached fast path when the per-kernel
+        decode cache is enabled, else to the original per-issue decode
+        path (``_try_issue_uncached``). Both paths produce bit-identical
+        :class:`SimStats`; the cached one just indexes precomputed flat
+        data instead of re-deriving it per dynamic instruction.
+        """
+        decode = self._decode
+        if decode is None:
+            return self._try_issue_uncached(warp, now, forbid_alloc)
+
+        stack = warp.stack
+        if len(stack._stack) > 1:
+            stack.maybe_reconverge()
+        stats = self.stats
+        top = stack._stack[-1]
+
+        # Zero-cost skip of pir flag words already in the release flag
+        # cache (Section 7.2), dispatching on precomputed opcode tags.
+        while True:
+            d = decode[top.pc]
+            if d.is_pir:
+                flag_cache = self.flag_cache
+                if flag_cache is not None and flag_cache.probe(d.pc):
+                    stats.pir_skipped += 1
+                    top.pc += 1
+                    continue
+                if flag_cache is not None:
+                    flag_cache.install(d.pc)
+                stats.pir_decoded += 1
+                top.pc += 1
+                warp.last_issue_cycle = now
+                return _Issue.ISSUED
+            break
+
+        renaming = self.renaming
+        slot = warp.slot
+
+        if d.is_pbr:
+            stats.pbr_decoded += 1
+            if renaming is not None:
+                release = renaming.release
+                for reg in d.release_regs:
+                    release(slot, reg, now)
+            top.pc += 1
+            warp.last_issue_cycle = now
+            return _Issue.ISSUED
+
+        pending = warp.pending_regs
+        if pending:
+            for reg in d.srcs:
+                if reg in pending:
+                    return _Issue.SCOREBOARD
+            if d.dst is not None and d.dst in pending:
+                return _Issue.SCOREBOARD
+        pending_preds = warp.pending_preds
+        if pending_preds:
+            if d.guard_preg is not None and d.guard_preg in pending_preds:
+                return _Issue.SCOREBOARD
+            if d.pdst is not None and d.pdst in pending_preds:
+                return _Issue.SCOREBOARD
+
+        # Register access (the cached twin of ``_register_access``):
+        # renaming-table lookup conflicts, destination mapping, source
+        # reads and bank-conflict accounting, all driven by the decoded
+        # record. Register-file read/write accounting is inlined.
+        penalty = 0
+        regfile = self.regfile
+        bank_acc = stats.rf_bank_accesses
+        regs_per_bank = regfile.regs_per_bank
+        if renaming is not None:
+            if d.lookup_conflict_extra:
+                stats.renaming_conflict_cycles += d.lookup_conflict_extra
+            warp_map = renaming._maps[slot]
+            if d.dst is not None:
+                if forbid_alloc and d.dst_above and d.dst not in warp_map:
+                    return _Issue.FORBIDDEN
+                result = renaming.write(slot, d.dst, now)
+                if result is None:
+                    return _Issue.ALLOC
+                dst_phys, wake = result
+                if wake:
+                    penalty += wake
+                    stats.stall_wakeup_cycles += wake
+                stats.rf_writes += 1
+                bank_acc[dst_phys // regs_per_bank] += 1
+            banks: list[int] = []
+            if d.below_srcs:
+                direct = renaming._direct[slot]
+                for reg in d.below_srcs:
+                    phys = direct[reg]
+                    stats.rf_reads += 1
+                    bank = phys // regs_per_bank
+                    bank_acc[bank] += 1
+                    banks.append(bank)
+            for reg in d.above_srcs:
+                stats.renaming_reads += 1
+                phys = warp_map.get(reg)
+                if phys is None:
+                    if reg in renaming._released_live[slot]:
+                        raise RenamingError(
+                            f"use-after-release: warp {slot} read r{reg} "
+                            "after its compiler-directed release (unsound "
+                            "release plan)"
+                        )
+                    continue
+                stats.rf_reads += 1
+                bank = phys // regs_per_bank
+                bank_acc[bank] += 1
+                banks.append(bank)
+            if len(banks) > 1:
+                extra = len(banks) - len(set(banks))
+                if extra:
+                    stats.stall_bank_conflict_cycles += extra
+                    penalty += extra
+        else:
+            rfc = self.rfc
+            slotmod = slot % regfile.num_banks
+            src_banks = d.src_banks_by_slotmod[slotmod]
+            if rfc is None:
+                if d.dst is not None:
+                    stats.rf_writes += 1
+                    bank_acc[d.dst_bank_by_slotmod[slotmod]] += 1
+                if src_banks:
+                    stats.rf_reads += len(src_banks)
+                    for bank in src_banks:
+                        bank_acc[bank] += 1
+                    extra = d.baseline_conflict_extra
+                    if extra:
+                        stats.stall_bank_conflict_cycles += extra
+                        penalty += extra
+            else:
+                if d.dst is not None:
+                    evicted = rfc.write(slot, d.dst)
+                    if evicted is not None:
+                        self._mrf_writebacks(warp, [evicted])
+                banks = []
+                for reg, bank in zip(d.dedup_srcs, src_banks):
+                    if rfc.read(slot, reg):
+                        continue  # RFC hit: no main-register-file access
+                    stats.rf_reads += 1
+                    bank_acc[bank] += 1
+                    banks.append(bank)
+                if len(banks) > 1:
+                    extra = len(banks) - len(set(banks))
+                    if extra:
+                        stats.stall_bank_conflict_cycles += extra
+                        penalty += extra
+
+        taken = execute_decoded(d, warp, self.gmem)
+        stats.instructions += 1
+        warp.last_issue_cycle = now
+
+        if renaming is not None and d.release_list is not None:
+            release = renaming.release
+            for reg in d.release_list:
+                release(slot, reg, now)
+
+        self._retire_cached(warp, d, taken, penalty, now)
+        return _Issue.ISSUED
+
+    def _retire_cached(self, warp: Warp, d: DecodedInst, taken: int | None,
+                       penalty: int, now: int) -> None:
+        """Decode-cached twin of ``_retire``."""
+        config = self.config
+        stats = self.stats
+
+        if d.is_branch:
+            stats.branches += 1
+            stack = warp.stack
+            fallthrough = d.pc + 1
+            if d.guard_preg is None:
+                stack.pc = d.target_pc
+            else:
+                if d.reconv_pc is None:
+                    raise SimulationError(
+                        f"conditional branch at pc {d.pc} has no "
+                        "reconvergence point (kernel not compiled?)"
+                    )
+                if stack.branch(taken, d.target_pc, fallthrough,
+                                d.reconv_pc):
+                    stats.divergent_branches += 1
+            if self.renaming is not None and stack.pc != fallthrough:
+                # The extra renaming pipeline stage (7.1) deepens the
+                # front end, so a taken-branch redirect costs one more
+                # bubble cycle than the baseline.
+                warp.stalled_until = now + 1 + config.renaming_extra_cycles
+                self._stalled_wakeups.add(warp)
+            return
+
+        if d.is_exit:
+            exit_mask = array_to_mask(effective_mask(warp, d.inst))
+            if warp.stack.exit_lanes(exit_mask):
+                self._finish_warp(warp, now)
+            elif warp.pc == d.pc:
+                warp.pc += 1
+            return
+
+        if d.is_barrier:
+            stats.barriers += 1
+            warp.pc += 1
+            self._arrive_barrier(
+                warp, self.schedulers[warp.slot % len(self.schedulers)]
+            )
+            return
+
+        warp.pc += 1
+
+        if d.is_global_mem:
+            stats.memory_instructions += 1
+            complete = self.mem_unit.request(now) + penalty
+            if not d.is_store:
+                warp.scoreboard_mark(d.inst)
+                warp.outstanding_mem += 1
+                self._push_event(complete, "mem_wb", (warp, d.inst))
+                self.schedulers[warp.slot % len(self.schedulers)].demote(
+                    warp
+                )
+                if self.rfc is not None:
+                    # The RFC only backs active warps: demotion flushes
+                    # the warp's dirty lines to the MRF ([20]).
+                    self._mrf_writebacks(
+                        warp, self.rfc.flush_warp(warp.slot)
+                    )
+            return
+
+        if d.is_shared_mem:
+            stats.memory_instructions += 1
+            if not d.is_store:
+                warp.scoreboard_mark(d.inst)
+                self._push_event(
+                    now + config.shared_mem_latency + penalty,
+                    "wb", (warp, d.inst),
+                )
+            return
+
+        if d.needs_wb:
+            warp.scoreboard_mark(d.inst)
+            latency = (
+                config.sfu_latency if d.is_sfu else config.alu_latency
+            )
+            self._push_event(now + latency + penalty, "wb", (warp, d.inst))
+
+    def _try_issue_uncached(self, warp: Warp, now: int,
+                            forbid_alloc: bool = False) -> _Issue:
+        """The original per-issue decode path (``REPRO_DECODE_CACHE=0``).
+
+        Kept verbatim as the reference implementation the cached path
+        must match bit-for-bit; the equivalence suite diffs the two.
+        """
         stack = warp.stack
         stack.maybe_reconverge()
 
@@ -575,6 +905,7 @@ class SMCore:
                 # front end, so a taken-branch redirect costs one more
                 # bubble cycle than the baseline.
                 warp.stalled_until = now + 1 + config.renaming_extra_cycles
+                self._stalled_wakeups.add(warp)
             return
 
         if info.is_exit:
@@ -638,25 +969,34 @@ class SMCore:
             for peer in cta.warps:
                 if peer.status is WarpStatus.AT_BARRIER:
                     peer.status = WarpStatus.ACTIVE
+                    self.schedulers[
+                        peer.slot % len(self.schedulers)
+                    ].wake()
 
     # ---------------------------------------------------------------------- tick
     def tick(self) -> None:
         now = self.cycle
-        self._process_events(now)
-        self._launch_ctas(now)
-        if self._spilled_pending():
+        if self._events:
+            self._process_events(now)
+        if self.cta_queue:
+            self._launch_ctas(now)
+        if self._spilled_count:
             self._fill_spilled(now)
-        self._record_samples_until(now)
+        if self.sample_interval:
+            self._record_samples_until(now)
 
         restricted = self._throttle()
+        stats = self.stats
+        active = WarpStatus.ACTIVE
         issued_any = False
         alloc_blocked = False
         for sched in self.schedulers:
-            sched.refill(prefer_cta=restricted)
-            self.stats.issue_slots += 1
+            if sched.pending or restricted is not None:
+                sched.refill(prefer_cta=restricted)
+            stats.issue_slots += 1
             issued = False
-            for warp in list(sched.candidates()):
-                if warp.status is not WarpStatus.ACTIVE:
+            for warp in sched.candidates():
+                if warp.status is not active:
                     continue
                 if now < warp.stalled_until:
                     continue
@@ -666,18 +1006,18 @@ class SMCore:
                 outcome = self._try_issue(warp, now, forbid_alloc=forbid)
                 if outcome is _Issue.ISSUED:
                     sched.issued(warp)
-                    self.stats.issued += 1
+                    stats.issued += 1
                     issued = True
                     break
                 if outcome is _Issue.SCOREBOARD:
-                    self.stats.stall_scoreboard += 1
+                    stats.stall_scoreboard += 1
                 elif outcome is _Issue.FORBIDDEN:
-                    self.stats.stall_throttled += 1
+                    stats.stall_throttled += 1
                 else:
-                    self.stats.stall_no_free_register += 1
+                    stats.stall_no_free_register += 1
                     alloc_blocked = True
             if not issued:
-                self.stats.stall_no_ready_warp += 1
+                stats.stall_no_ready_warp += 1
             issued_any = issued_any or issued
 
         self.cycle = now + 1
@@ -695,24 +1035,36 @@ class SMCore:
         self._idle_skip(alloc_blocked)
 
     def _spilled_pending(self) -> bool:
-        return any(
-            warp.status is WarpStatus.SPILLED
-            for cta in self.resident
-            for warp in cta.warps
-        )
+        return self._spilled_count > 0
 
     def _idle_skip(self, alloc_blocked: bool) -> None:
-        """Fast-forward to the next wake-up when nothing can issue."""
+        """Fast-forward to the next wake-up when nothing can issue.
+
+        Stalled-warp wake-up times come from ``_stalled_wakeups``, the
+        set of warps whose ``stalled_until`` may still lie in the
+        future; entries in the past (or of finished warps) are pruned
+        here, so the scan is over recently stalled warps, not every
+        resident warp.
+        """
         targets = []
         if self._events:
             targets.append(self._events[0][0])
-        for cta in self.resident:
-            for warp in cta.warps:
+        wakeups = self._stalled_wakeups
+        if wakeups:
+            stale: list[Warp] | None = None
+            for warp in wakeups:
                 if (
-                    warp.status is WarpStatus.ACTIVE
-                    and warp.stalled_until >= self.cycle
+                    warp.stalled_until < self.cycle
+                    or warp.status is WarpStatus.FINISHED
                 ):
+                    if stale is None:
+                        stale = []
+                    stale.append(warp)
+                elif warp.status is WarpStatus.ACTIVE:
                     targets.append(warp.stalled_until)
+            if stale is not None:
+                for warp in stale:
+                    wakeups.discard(warp)
         if targets:
             target = min(targets)
             if alloc_blocked:

@@ -67,17 +67,27 @@ def special_value(warp: Warp, special: Special) -> np.ndarray:
     raise SimulationError(f"unknown special register {special}")
 
 
+#: Opcodes with no value semantics (control applied by the core).
+_NO_VALUE = frozenset(
+    (Opcode.EXIT, Opcode.BAR, Opcode.NOP, Opcode.PIR, Opcode.PBR)
+)
+_LOADS = frozenset((Opcode.LDG, Opcode.LDS))
+_STORES = frozenset((Opcode.STG, Opcode.STS))
+
+
 def execute(inst: Instruction, warp: Warp, gmem) -> int | None:
     """Execute ``inst`` on ``warp``; returns taken mask for branches."""
     opcode = inst.opcode
-    mask = effective_mask(warp, inst)
+    if inst.guard is None:
+        mask = warp.mask_array()
+    else:
+        mask = effective_mask(warp, inst)
 
     if opcode is Opcode.BRA:
         if inst.guard is None:
             return warp.active_mask
         return array_to_mask(mask)
-    if opcode in (Opcode.EXIT, Opcode.BAR, Opcode.NOP,
-                  Opcode.PIR, Opcode.PBR):
+    if opcode in _NO_VALUE:
         return None
 
     srcs = [warp.reg(reg) for reg in inst.srcs]
@@ -89,55 +99,112 @@ def execute(inst: Instruction, warp: Warp, gmem) -> int | None:
         warp.write_pred(inst.pdst, _CMP[inst.cmp](srcs[0], rhs), mask)
         return None
 
-    if inst.info.is_memory:
+    if opcode in _LOADS:
         addrs = (srcs[0] + inst.offset) & ADDR_MASK
         memory = gmem if inst.space is MemSpace.GLOBAL else warp.cta.shared
-        if inst.info.is_store:
-            memory.store(addrs, srcs[1], mask)
-        else:
-            warp.write_reg(inst.dst, memory.load(addrs, mask), mask)
+        warp.write_reg(inst.dst, memory.load(addrs, mask), mask)
+        return None
+    if opcode in _STORES:
+        addrs = (srcs[0] + inst.offset) & ADDR_MASK
+        memory = gmem if inst.space is MemSpace.GLOBAL else warp.cta.shared
+        memory.store(addrs, srcs[1], mask)
         return None
 
-    value = _alu(opcode, inst, srcs, warp)
-    warp.write_reg(inst.dst, value, mask)
+    handler = _ALU_OPS.get(opcode)
+    if handler is None:
+        raise SimulationError(f"no semantics for opcode {opcode}")
+    warp.write_reg(inst.dst, handler(inst, srcs, warp), mask)
     return None
 
 
 def _alu(opcode: Opcode, inst: Instruction, srcs, warp: Warp) -> np.ndarray:
-    if opcode is Opcode.MOV:
-        return srcs[0]
-    if opcode is Opcode.MOVI:
-        return np.full(warp.warp_size, inst.imm, dtype=np.int64)
-    if opcode in (Opcode.IADD, Opcode.FADD):
-        return srcs[0] + srcs[1]
-    if opcode is Opcode.IADDI:
-        return srcs[0] + inst.imm
-    if opcode is Opcode.ISUB:
-        return srcs[0] - srcs[1]
-    if opcode in (Opcode.IMUL, Opcode.FMUL):
-        return srcs[0] * srcs[1]
-    if opcode in (Opcode.IMAD, Opcode.FFMA):
-        return srcs[0] * srcs[1] + srcs[2]
-    if opcode is Opcode.AND:
-        return srcs[0] & srcs[1]
-    if opcode is Opcode.OR:
-        return srcs[0] | srcs[1]
-    if opcode is Opcode.XOR:
-        return srcs[0] ^ srcs[1]
-    if opcode is Opcode.SHL:
-        return srcs[0] << (inst.imm & 63)
-    if opcode is Opcode.SHR:
-        return srcs[0] >> (inst.imm & 63)
-    if opcode is Opcode.IMIN:
-        return np.minimum(srcs[0], srcs[1])
-    if opcode is Opcode.IMAX:
-        return np.maximum(srcs[0], srcs[1])
-    if opcode is Opcode.SEL:
-        return np.where(srcs[0] != 0, srcs[1], srcs[2])
-    if opcode is Opcode.RCP:
-        return (1 << 16) // (np.abs(srcs[0]) + 1)
-    if opcode is Opcode.SQRT:
-        return np.sqrt(np.abs(srcs[0]).astype(np.float64)).astype(np.int64)
-    if opcode is Opcode.S2R:
-        return special_value(warp, inst.special)
-    raise SimulationError(f"no semantics for opcode {opcode}")
+    """Value semantics of one ALU/SFU opcode (table-dispatched)."""
+    handler = _ALU_OPS.get(opcode)
+    if handler is None:
+        raise SimulationError(f"no semantics for opcode {opcode}")
+    return handler(inst, srcs, warp)
+
+
+def execute_decoded(d, warp: Warp, gmem) -> int | None:
+    """Decode-cached twin of :func:`execute`.
+
+    Identical value semantics, but driven by a
+    :class:`repro.sim.decode.DecodedInst` record whose ``exec_kind`` /
+    ``exec_handler`` fields were resolved once per static instruction,
+    so no per-call opcode dispatch happens. The equivalence suite holds
+    the two paths bit-identical.
+    """
+    inst = d.inst
+    if d.guard_preg is None:
+        if d.is_branch:
+            return warp.active_mask
+        mask = warp.mask_array()
+    else:
+        mask = effective_mask(warp, inst)
+        if d.is_branch:
+            return array_to_mask(mask)
+
+    kind = d.exec_kind
+    if kind == EXEC_NONE:
+        return None
+    srcs = [warp.reg(reg) for reg in d.srcs]
+    if kind == EXEC_ALU:
+        warp.write_reg(d.dst, d.exec_handler(inst, srcs, warp), mask)
+        return None
+    if kind == EXEC_LOAD:
+        addrs = (srcs[0] + d.offset) & ADDR_MASK
+        memory = gmem if d.is_global_mem else warp.cta.shared
+        warp.write_reg(d.dst, memory.load(addrs, mask), mask)
+        return None
+    if kind == EXEC_STORE:
+        addrs = (srcs[0] + d.offset) & ADDR_MASK
+        memory = gmem if d.is_global_mem else warp.cta.shared
+        memory.store(addrs, srcs[1], mask)
+        return None
+    # EXEC_SETP
+    rhs = d.setp_imm if d.setp_imm is not None else srcs[1]
+    warp.write_pred(d.pdst, d.setp_cmp(srcs[0], rhs), mask)
+    return None
+
+
+#: ``DecodedInst.exec_kind`` classes, mirrored from repro.sim.decode
+#: (defined here to avoid an import cycle; decode imports this module).
+EXEC_ALU = 0
+EXEC_NONE = 1
+EXEC_LOAD = 2
+EXEC_STORE = 3
+EXEC_SETP = 4
+
+
+#: Per-opcode value semantics. A dict dispatch replaces the linear
+#: opcode if-chain on the issue hot path; adding an opcode means adding
+#: an entry here (plus its :mod:`repro.isa.opcodes` metadata).
+_ALU_OPS = {
+    Opcode.MOV: lambda inst, srcs, warp: srcs[0],
+    Opcode.MOVI: lambda inst, srcs, warp: np.full(
+        warp.warp_size, inst.imm, dtype=np.int64
+    ),
+    Opcode.IADD: lambda inst, srcs, warp: srcs[0] + srcs[1],
+    Opcode.FADD: lambda inst, srcs, warp: srcs[0] + srcs[1],
+    Opcode.IADDI: lambda inst, srcs, warp: srcs[0] + inst.imm,
+    Opcode.ISUB: lambda inst, srcs, warp: srcs[0] - srcs[1],
+    Opcode.IMUL: lambda inst, srcs, warp: srcs[0] * srcs[1],
+    Opcode.FMUL: lambda inst, srcs, warp: srcs[0] * srcs[1],
+    Opcode.IMAD: lambda inst, srcs, warp: srcs[0] * srcs[1] + srcs[2],
+    Opcode.FFMA: lambda inst, srcs, warp: srcs[0] * srcs[1] + srcs[2],
+    Opcode.AND: lambda inst, srcs, warp: srcs[0] & srcs[1],
+    Opcode.OR: lambda inst, srcs, warp: srcs[0] | srcs[1],
+    Opcode.XOR: lambda inst, srcs, warp: srcs[0] ^ srcs[1],
+    Opcode.SHL: lambda inst, srcs, warp: srcs[0] << (inst.imm & 63),
+    Opcode.SHR: lambda inst, srcs, warp: srcs[0] >> (inst.imm & 63),
+    Opcode.IMIN: lambda inst, srcs, warp: np.minimum(srcs[0], srcs[1]),
+    Opcode.IMAX: lambda inst, srcs, warp: np.maximum(srcs[0], srcs[1]),
+    Opcode.SEL: lambda inst, srcs, warp: np.where(
+        srcs[0] != 0, srcs[1], srcs[2]
+    ),
+    Opcode.RCP: lambda inst, srcs, warp: (1 << 16) // (np.abs(srcs[0]) + 1),
+    Opcode.SQRT: lambda inst, srcs, warp: np.sqrt(
+        np.abs(srcs[0]).astype(np.float64)
+    ).astype(np.int64),
+    Opcode.S2R: lambda inst, srcs, warp: special_value(warp, inst.special),
+}

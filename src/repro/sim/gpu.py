@@ -90,6 +90,11 @@ class GPU:
         per_sm = math.ceil(launch.grid_ctas / config.num_sms)
         if max_ctas_per_sm_sim is not None:
             per_sm = min(per_sm, max_ctas_per_sm_sim)
+        # The decode cache is pure derived data keyed on
+        # (kernel, num_banks, threshold, mode): the first core builds
+        # it and the remaining cores share the same object, so a
+        # multi-SM GPU decodes the kernel exactly once.
+        decode_cache = None
         for sm in range(sim_sms):
             opts = (
                 sample_interval if sm == 0 else 0,
@@ -106,7 +111,10 @@ class GPU:
                 trace_warp_slots=opts[1],
                 spill_enabled=spill_enabled,
                 sm_id=sm,
+                decode_cache=decode_cache,
             )
+            if decode_cache is None:
+                decode_cache = core._decode_cache
             ctaids = [
                 sm + wave * config.num_sms
                 for wave in range(per_sm)

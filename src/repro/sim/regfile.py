@@ -53,6 +53,12 @@ class PhysicalRegisterFile:
         self._occupied_in_sub = [
             [0] * self.subs_per_bank for _ in range(self.num_banks)
         ]
+        # Free rows per bank, maintained incrementally so the
+        # allocation fallback order never re-counts heap lengths.
+        self._bank_free = [
+            sum(len(rows) for rows in bank_subs)
+            for bank_subs in self._free
+        ]
         self._allocated: set[int] = set()
         self._touched: set[int] = set()
 
@@ -104,7 +110,7 @@ class PhysicalRegisterFile:
         return self.total - len(self._allocated)
 
     def free_count_in_bank(self, bank: int) -> int:
-        return sum(len(rows) for rows in self._free[bank])
+        return self._bank_free[bank]
 
     @property
     def live_count(self) -> int:
@@ -120,18 +126,21 @@ class PhysicalRegisterFile:
         same-bank policy, needed to rule out single-bank livelock; see
         DESIGN.md).
         """
-        order = [bank] + [
-            b for b in sorted(
-                range(self.num_banks),
-                key=lambda b: -self.free_count_in_bank(b),
-            )
-            if b != bank
-        ]
-        for which, candidate in enumerate(order):
+        result = self._allocate_in_bank(bank, now)
+        if result is not None:
+            return result
+        # Fallback order: fullest-first by free rows, ties by bank index
+        # (stable sort), skipping the already-tried preferred bank. The
+        # common case above never sorts.
+        bank_free = self._bank_free
+        for candidate in sorted(
+            range(self.num_banks), key=lambda b: -bank_free[b]
+        ):
+            if candidate == bank:
+                continue
             result = self._allocate_in_bank(candidate, now)
             if result is not None:
-                if which:
-                    self.stats.bank_fallbacks += 1
+                self.stats.bank_fallbacks += 1
                 return result
         return None
 
@@ -164,6 +173,7 @@ class PhysicalRegisterFile:
         self.account(now)
         penalty = self._power_on(bank, choice)
         row = heapq.heappop(free_subs[choice])
+        self._bank_free[bank] -= 1
         self._occupied_in_sub[bank][choice] += 1
         phys = bank * self.regs_per_bank + row
         self._allocated.add(phys)
@@ -182,6 +192,7 @@ class PhysicalRegisterFile:
         bank, row = divmod(phys, self.regs_per_bank)
         sub = row // self.regs_per_subarray
         heapq.heappush(self._free[bank][sub], row)
+        self._bank_free[bank] += 1
         self._occupied_in_sub[bank][sub] -= 1
         self.stats.registers_released_events += 1
         self._maybe_power_off(bank, sub)

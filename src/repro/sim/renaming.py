@@ -67,6 +67,11 @@ class RenamingTable:
         #: zero as it warms up and throttling only acts during the
         #: allocation ramp.
         self.cta_assigned: dict[int, int] = {}
+        #: Monotonic counter bumped whenever ``cta_allocated`` /
+        #: ``cta_assigned`` change. The GPU-shrink throttle memoizes its
+        #: min-balance CTA on (this, core residency version) so the
+        #: O(CTAs) derivation reruns only when the inputs moved.
+        self.version = 0
         #: Architected registers each warp has ever had mapped.
         self._ever: dict[int, set[int]] = {}
         #: Released-but-not-rewritten registers per warp. A read of one
@@ -101,6 +106,7 @@ class RenamingTable:
             self._ever[warp_slot].add(arch)
             self.cta_allocated[cta_id] += 1
             self.cta_assigned[cta_id] += 1
+            self.version += 1
         return True
 
     def _rollback_launch(self, warp_slot: int, now: int) -> None:
@@ -109,6 +115,7 @@ class RenamingTable:
             self.regfile.free(phys, now)
             self.cta_allocated[cta_id] -= 1
             self.cta_assigned[cta_id] -= 1
+            self.version += 1
         del self._maps[warp_slot]
         del self._direct[warp_slot]
         del self._ever[warp_slot]
@@ -118,6 +125,7 @@ class RenamingTable:
     def finish_warp(self, warp_slot: int, now: int) -> None:
         """Free every register the warp still holds (warp EXIT)."""
         cta_id = self._cta_of_warp.pop(warp_slot)
+        self.version += 1
         for phys in self._maps.pop(warp_slot).values():
             self.regfile.free(phys, now)
             self.cta_allocated[cta_id] -= 1
@@ -129,6 +137,7 @@ class RenamingTable:
 
     def forget_cta(self, cta_id: int) -> None:
         """Drop the balance counters of a completed CTA."""
+        self.version += 1
         self.cta_allocated.pop(cta_id, None)
         self.cta_assigned.pop(cta_id, None)
 
@@ -233,6 +242,7 @@ class RenamingTable:
         self._maps[warp_slot][arch] = phys
         self._released_live[warp_slot].discard(arch)
         self.stats.renaming_writes += 1
+        self.version += 1
         cta_id = self._cta_of_warp[warp_slot]
         self.cta_allocated[cta_id] += 1
         ever = self._ever[warp_slot]
@@ -246,6 +256,7 @@ class RenamingTable:
     def _free(self, warp_slot: int, arch: int, phys: int, now: int) -> None:
         del self._maps[warp_slot][arch]
         self.regfile.free(phys, now)
+        self.version += 1
         self.cta_allocated[self._cta_of_warp[warp_slot]] -= 1
 
     # --- queries --------------------------------------------------------------------

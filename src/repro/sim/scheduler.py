@@ -15,7 +15,11 @@ another (later-scheduled) warp's fresh allocation (Fig. 2b).
 
 from __future__ import annotations
 
+import operator
+
 from repro.sim.warp import Warp, WarpStatus
+
+_BY_SLOT = operator.attrgetter("slot")
 
 
 class WarpScheduler:
@@ -41,6 +45,16 @@ class WarpScheduler:
         self.pending: list[Warp] = []
         self._rr = 0
         self._greedy: Warp | None = None
+        # Reusable candidates() snapshot — cleared and refilled per
+        # call, so the per-cycle selection allocates nothing.
+        self._snapshot: list[Warp] = []
+        # True when a pending warp may have become promotable since the
+        # last completed refill scan. The core calls wake() on every
+        # state change that can unblock a pending warp (memory
+        # writeback, barrier release, fill completion); membership
+        # changes set it here. refill() skips its O(pending) scan while
+        # this is clear.
+        self._refill_dirty = True
 
     # --- membership ---------------------------------------------------------
     def add(self, warp: Warp) -> None:
@@ -48,6 +62,17 @@ class WarpScheduler:
             self.ready.append(warp)
         else:
             self.pending.append(warp)
+            self._refill_dirty = True
+
+    def wake(self) -> None:
+        """Note that a pending warp may have become promotable.
+
+        Must be called after any external state change that can turn a
+        pending warp schedulable (``outstanding_mem`` reaching zero or
+        status returning to ACTIVE); the next :meth:`refill` then
+        rescans the pending queue.
+        """
+        self._refill_dirty = True
 
     def remove(self, warp: Warp) -> None:
         if warp in self.ready:
@@ -80,6 +105,7 @@ class WarpScheduler:
         if warp in self.ready:
             self._drop_ready(warp)
             self.pending.append(warp)
+            self._refill_dirty = True
 
     def refill(self, prefer_cta: int | None = None) -> None:
         """Promote schedulable pending warps into free ready slots.
@@ -90,18 +116,29 @@ class WarpScheduler:
         in that case a non-restricted ready warp is demoted to make
         room (Section 8.1's "allows only warps from that CTA").
         """
-        still_pending: list[Warp] = []
-        for warp in self.pending:
-            promotable = (
-                warp.status is WarpStatus.ACTIVE
-                and warp.outstanding_mem == 0
-                and len(self.ready) < self.ready_size
-            )
-            if promotable:
-                self.ready.append(warp)
-            else:
-                still_pending.append(warp)
-        self.pending = still_pending
+        if (
+            self.pending
+            and self._refill_dirty
+            and len(self.ready) < self.ready_size
+        ):
+            still_pending: list[Warp] = []
+            blocked_by_space = False
+            ready = self.ready
+            ready_size = self.ready_size
+            active = WarpStatus.ACTIVE
+            for warp in self.pending:
+                if warp.status is active and warp.outstanding_mem == 0:
+                    if len(ready) < ready_size:
+                        ready.append(warp)
+                    else:
+                        blocked_by_space = True
+                        still_pending.append(warp)
+                else:
+                    still_pending.append(warp)
+            self.pending = still_pending
+            # A completed scan leaves only warps blocked on their own
+            # state; stay dirty only while warps wait on ready space.
+            self._refill_dirty = blocked_by_space
         if prefer_cta is None:
             return
         if any(
@@ -128,22 +165,40 @@ class WarpScheduler:
                 return
             self._drop_ready(victim)
             self.pending.append(victim)
+            self._refill_dirty = True
         self.pending.remove(candidate)
         self.ready.append(candidate)
 
     # --- selection -------------------------------------------------------------
-    def candidates(self):
-        """Selectable warps in policy priority order."""
+    def candidates(self) -> list[Warp]:
+        """Selectable warps in policy priority order.
+
+        Returns a snapshot of the selection order that is decoupled
+        from the live queues: removing, demoting or adding warps while
+        iterating it cannot skip or duplicate candidates. The snapshot
+        list is *reused* across calls (so the per-cycle selection
+        allocates nothing); at most one iteration per scheduler may be
+        live at a time, and the next call invalidates the previous
+        snapshot.
+        """
+        snapshot = self._snapshot
+        snapshot.clear()
+        ready = self.ready
         if self.policy == "gto":
-            if self._greedy is not None and self._greedy in self.ready:
-                yield self._greedy
-            for warp in sorted(self.ready, key=lambda w: w.slot):
-                if warp is not self._greedy:
-                    yield warp
-            return
-        count = len(self.ready)
-        for offset in range(count):
-            yield self.ready[(self._rr + offset) % count]
+            greedy = self._greedy
+            snapshot.extend(ready)
+            snapshot.sort(key=_BY_SLOT)
+            if greedy is not None and greedy in ready:
+                snapshot.remove(greedy)
+                snapshot.insert(0, greedy)
+            return snapshot
+        rr = self._rr
+        if rr:
+            snapshot.extend(ready[rr:])
+            snapshot.extend(ready[:rr])
+        else:
+            snapshot.extend(ready)
+        return snapshot
 
     def issued(self, warp: Warp) -> None:
         """Record an issue: advances RR pointer / pins the greedy warp."""

@@ -81,7 +81,10 @@ class SimStats:
     total_subarrays: int = 0
 
     # --- GPU-shrink ---------------------------------------------------------------------
+    #: Transitions into CTA throttling (unrestricted -> restricted).
     throttle_activations: int = 0
+    #: Cycles spent with the issue restriction active.
+    throttle_cycles: int = 0
     spill_events: int = 0
     fill_events: int = 0
     spilled_registers: int = 0
@@ -139,7 +142,8 @@ class SimStats:
             "wasted_releases", "bank_fallbacks", "renaming_reads",
             "renaming_writes", "flag_cache_hits", "flag_cache_misses",
             "rfc_reads", "rfc_writes", "rfc_writebacks", "rfc_flushes",
-            "subarray_wakeups", "throttle_activations", "spill_events",
+            "subarray_wakeups", "throttle_activations", "throttle_cycles",
+            "spill_events",
             "fill_events", "spilled_registers", "ctas_completed",
             "warps_completed", "architected_registers_demand",
         ):

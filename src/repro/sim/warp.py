@@ -50,6 +50,12 @@ class Warp:
         self.pending_preds: set[int] = set()
         self.outstanding_mem = 0
 
+        # mask_array memo, keyed by the integer active mask. Callers
+        # treat the returned array as read-only (numpy ops on it build
+        # new arrays), so one lane array per distinct mask suffices.
+        self._mask_key = -1
+        self._mask_arr: np.ndarray | None = None
+
         self.last_issue_cycle = -1
         #: Front-end bubble: the warp cannot issue before this cycle
         #: (branch redirect through the extra renaming stage, 7.1).
@@ -100,9 +106,12 @@ class Warp:
         return self.stack.active_mask
 
     def mask_array(self) -> np.ndarray:
-        """Active mask as a boolean lane array."""
+        """Active mask as a boolean lane array (read-only memo)."""
         mask = self.stack.active_mask
-        return ((mask >> self.lane_ids) & 1).astype(bool)
+        if mask != self._mask_key:
+            self._mask_arr = ((mask >> self.lane_ids) & 1).astype(bool)
+            self._mask_key = mask
+        return self._mask_arr
 
     # --- scoreboard --------------------------------------------------------------
     def scoreboard_ready(self, inst) -> bool:

@@ -88,7 +88,8 @@ def report(artifact_stats, result, design: str) -> str:
         )
     if stats.throttle_activations:
         lines.append(
-            f"throttled cycles : {stats.throttle_activations}"
+            f"throttling       : {stats.throttle_activations} "
+            f"activations over {stats.throttle_cycles} cycles"
         )
     if stats.spill_events:
         lines.append(

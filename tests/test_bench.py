@@ -1,0 +1,118 @@
+"""Hot-path benchmark harness and profiling-flag CLI tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    DEFAULT_WORKLOADS,
+    MODES,
+    SCHEMA,
+    main,
+    run_benchmark,
+    validate_bench,
+)
+
+#: One tiny workload keeps the CLI round-trips fast.
+TINY = ["--workloads", "vectoradd", "--quick"]
+
+
+class TestRunBenchmark:
+    def test_matrix_shape_and_schema(self):
+        data = run_benchmark(workloads=("vectoradd",), quick=True)
+        assert data["schema"] == SCHEMA
+        assert data["workloads"] == ["vectoradd"]
+        assert set(data["modes"]) == set(MODES)
+        for mode in MODES:
+            record = data["modes"][mode]
+            assert record["cycles"] > 0
+            assert record["instructions"] > 0
+            assert record["wall_seconds"] > 0
+            assert record["cycles_per_second"] > 0
+            assert "vectoradd" in record["workloads"]
+        # Only the flags flow compiles, and never inside the timer.
+        assert data["modes"]["flags"]["workloads"]["vectoradd"][
+            "compile_seconds"
+        ] > 0
+        assert validate_bench(data) == []
+
+    def test_default_sample_is_stable(self):
+        assert DEFAULT_WORKLOADS == ("matrixmul", "blackscholes",
+                                     "reduction")
+
+
+class TestValidate:
+    def _valid(self):
+        return run_benchmark(workloads=("vectoradd",), quick=True)
+
+    def test_rejects_non_object(self):
+        assert validate_bench([1, 2]) != []
+        assert validate_bench(None) != []
+
+    def test_rejects_wrong_schema(self):
+        data = self._valid()
+        data["schema"] = "something-else/9"
+        assert any("schema" in e for e in validate_bench(data))
+
+    def test_rejects_missing_mode(self):
+        data = self._valid()
+        del data["modes"]["flags"]
+        assert any("modes.flags" in e for e in validate_bench(data))
+
+    def test_rejects_corrupt_field(self):
+        data = self._valid()
+        data["modes"]["baseline"]["cycles"] = "lots"
+        assert any(
+            "modes.baseline.cycles" in e for e in validate_bench(data)
+        )
+
+
+class TestCli:
+    def test_writes_and_validates_result_file(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(TINY + ["--out", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "cycles/s" in printed
+        data = json.loads(out.read_text())
+        assert data["quick"] is True
+        assert validate_bench(data) == []
+
+        assert main(["--validate", str(out)]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_validate_rejects_corruption(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        assert main(TINY + ["--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        data["modes"]["redefine"]["cycles"] = None
+        out.write_text(json.dumps(data))
+        assert main(["--validate", str(out)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+    def test_validate_rejects_unreadable_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        out.write_text("{not json")
+        assert main(["--validate", str(out)]) == 1
+        assert "invalid" in capsys.readouterr().err
+
+
+class TestRunnerProfile:
+    def test_profile_prints_hotspots_and_saves_pstats(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        from repro.experiments.runner import main as runner_main
+
+        monkeypatch.chdir(tmp_path)
+        assert runner_main(["--quick", "--profile", "fig07"]) == 0
+        out = capsys.readouterr().out
+        assert "cumulative" in out
+        assert "profile: profile.pstats" in out
+        assert (tmp_path / "profile.pstats").exists()
+
+        # The saved dump must be loadable by pstats-based tools.
+        import pstats
+
+        stats = pstats.Stats(str(tmp_path / "profile.pstats"))
+        assert stats.total_calls > 0

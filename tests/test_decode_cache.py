@@ -1,0 +1,222 @@
+"""The decode cache must be invisible: bit-identical statistics.
+
+The per-kernel decode cache (``repro.sim.decode``) and the cached issue
+path in ``SMCore`` are pure performance work — every counter in
+``SimStats`` must come out exactly equal to the uncached seed path,
+which stays available behind ``REPRO_DECODE_CACHE=0``. These tests pin
+that equivalence across workloads and register-management modes, plus
+the structural invariants of the decoded records themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.arch import GPUConfig
+from repro.compiler import compile_kernel
+from repro.compiler.banks import bank_of
+from repro.isa.opcodes import Opcode, opcode_info
+from repro.sim.decode import (
+    RENAMING_TABLE_BANKS,
+    build_decode_cache,
+)
+from repro.sim.gpu import GPU, simulate
+from repro.workloads.suite import get_workload
+
+WORKLOADS = ("matrixmul", "blackscholes", "reduction")
+MODES = ("baseline", "flags", "redefine")
+QUICK = dict(scale=0.5)
+
+
+def _simulate(workload, mode, **kwargs):
+    """One wave of ``workload`` under ``mode`` (compiling for flags)."""
+    opts = dict(max_ctas_per_sm_sim=workload.table1.conc_ctas_per_sm)
+    opts.update(kwargs)
+    if mode == "flags":
+        config = GPUConfig.renamed()
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        return simulate(
+            compiled.kernel, workload.launch, config, mode="flags",
+            threshold=compiled.renaming_threshold, **opts,
+        )
+    config = (
+        GPUConfig.baseline() if mode == "baseline" else GPUConfig.renamed()
+    )
+    return simulate(
+        workload.kernel.clone(), workload.launch, config, mode=mode,
+        **opts,
+    )
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("name", WORKLOADS)
+    @pytest.mark.parametrize("mode", MODES)
+    def test_cached_path_matches_seed_path(self, name, mode, monkeypatch):
+        """Every SimStats field identical with and without the cache."""
+        workload = get_workload(name, **QUICK)
+        cached = _simulate(workload, mode)
+
+        monkeypatch.setenv("REPRO_DECODE_CACHE", "0")
+        uncached = _simulate(workload, mode)
+
+        assert dataclasses.asdict(cached.stats) == dataclasses.asdict(
+            uncached.stats
+        )
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_parallel_matches_serial(self, mode):
+        """The process-pool engine (which rebuilds the cache per
+        worker) stays bit-identical to the serial cached path."""
+        workload = get_workload("matrixmul", **QUICK)
+        serial = _simulate(workload, mode, sim_sms=2,
+                           max_ctas_per_sm_sim=2)
+        parallel = _simulate(workload, mode, sim_sms=2,
+                             max_ctas_per_sm_sim=2, jobs=2)
+        assert dataclasses.asdict(serial.stats) == dataclasses.asdict(
+            parallel.stats
+        )
+
+
+class TestSharing:
+    def test_cache_shared_across_cores(self):
+        workload = get_workload("matrixmul", **QUICK)
+        gpu = GPU(
+            GPUConfig.renamed(), workload.kernel.clone(), workload.launch,
+            mode="redefine", sim_sms=2, max_ctas_per_sm_sim=1,
+        )
+        first, second = gpu.cores
+        assert first._decode_cache is not None
+        assert first._decode_cache is second._decode_cache
+
+    def test_env_flag_disables_cache(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DECODE_CACHE", "0")
+        workload = get_workload("matrixmul", **QUICK)
+        gpu = GPU(
+            GPUConfig.renamed(), workload.kernel.clone(), workload.launch,
+            mode="redefine", max_ctas_per_sm_sim=1,
+        )
+        core = gpu.cores[0]
+        assert core._decode_cache is None
+        assert core._decode is None
+
+    def test_cache_rejects_mismatched_key(self):
+        workload = get_workload("matrixmul", **QUICK)
+        config = GPUConfig.renamed()
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        cache = build_decode_cache(compiled.kernel, config, 4, "flags")
+        assert cache.matches(compiled.kernel, config.num_banks, 4, "flags")
+        assert not cache.matches(compiled.kernel, config.num_banks, 4,
+                                 "redefine")
+        assert not cache.matches(compiled.kernel, config.num_banks, 2,
+                                 "flags")
+        assert not cache.matches(workload.kernel, config.num_banks, 4,
+                                 "flags")
+
+
+class TestDecodedInst:
+    """Structural invariants of the per-instruction records."""
+
+    @pytest.fixture(scope="class")
+    def decoded(self):
+        workload = get_workload("blackscholes", **QUICK)
+        config = GPUConfig.renamed()
+        compiled = compile_kernel(workload.kernel, workload.launch, config)
+        threshold = compiled.renaming_threshold
+        cache = build_decode_cache(compiled.kernel, config, threshold,
+                                   "flags")
+        return compiled.kernel, cache, threshold, config
+
+    def test_dedup_preserves_first_occurrence_order(self, decoded):
+        kernel, cache, _, _ = decoded
+        for entry in cache.entries:
+            seen = []
+            for reg in entry.inst.srcs:
+                if reg not in seen:
+                    seen.append(reg)
+            assert list(entry.dedup_srcs) == seen
+
+    def test_release_list_collapses_unset_flags_to_none(self, decoded):
+        kernel, cache, _, _ = decoded
+        for entry in cache.entries:
+            expected = tuple(
+                reg for reg, flag in zip(
+                    entry.inst.srcs, entry.inst.release_srcs
+                ) if flag
+            )
+            assert entry.release_list == (expected or None)
+
+    def test_threshold_partition_covers_dedup_srcs(self, decoded):
+        kernel, cache, threshold, _ = decoded
+        for entry in cache.entries:
+            assert sorted(entry.below_srcs + entry.above_srcs) == sorted(
+                entry.dedup_srcs
+            )
+            assert all(reg < threshold for reg in entry.below_srcs)
+            assert all(reg >= threshold for reg in entry.above_srcs)
+
+    def test_lookup_conflict_matches_four_banked_table(self, decoded):
+        kernel, cache, threshold, _ = decoded
+        for entry in cache.entries:
+            lookups = {r for r in entry.inst.srcs if r >= threshold}
+            if entry.inst.dst is not None and entry.inst.dst >= threshold:
+                lookups.add(entry.inst.dst)
+            expected = 0
+            if len(lookups) > 1:
+                expected = len(lookups) - len(
+                    {r % RENAMING_TABLE_BANKS for r in lookups}
+                )
+            assert entry.lookup_conflict_extra == expected
+
+    def test_bank_tables_match_bank_of_for_every_slot(self, decoded):
+        kernel, cache, _, config = decoded
+        n = config.num_banks
+        for entry in cache.entries:
+            for slot in range(2 * n):  # beyond one period: wraps
+                banks = entry.src_banks_by_slotmod[slot % n]
+                assert banks == tuple(
+                    bank_of(reg, slot, n) for reg in entry.dedup_srcs
+                )
+                if entry.inst.dst is not None:
+                    assert entry.dst_bank_by_slotmod[slot % n] == bank_of(
+                        entry.inst.dst, slot, n
+                    )
+            expected_extra = len(entry.dedup_srcs) - len(
+                {bank_of(r, 0, n) for r in entry.dedup_srcs}
+            )
+            assert entry.baseline_conflict_extra == expected_extra
+
+    def test_exec_kind_classification(self, decoded):
+        kernel, cache, _, _ = decoded
+        from repro.sim.execute import (
+            _ALU_OPS,
+            EXEC_ALU,
+            EXEC_LOAD,
+            EXEC_NONE,
+            EXEC_SETP,
+            EXEC_STORE,
+        )
+
+        kinds = set()
+        for entry in cache.entries:
+            info = opcode_info(entry.opcode)
+            kinds.add(entry.exec_kind)
+            if entry.opcode is Opcode.SETP:
+                assert entry.exec_kind == EXEC_SETP
+                assert entry.setp_cmp is not None
+                # The immediate substitutes for a second register
+                # source only in the one-source form.
+                if len(entry.inst.srcs) != 1:
+                    assert entry.setp_imm is None
+            elif info.is_memory:
+                assert entry.exec_kind == (
+                    EXEC_STORE if info.is_store else EXEC_LOAD
+                )
+            elif entry.opcode in _ALU_OPS:
+                assert entry.exec_kind == EXEC_ALU
+                assert entry.exec_handler is _ALU_OPS[entry.opcode]
+            else:
+                assert entry.exec_kind == EXEC_NONE
+        # The workload must actually exercise the dispatch classes.
+        assert {EXEC_ALU, EXEC_NONE}.issubset(kinds)

@@ -204,6 +204,65 @@ class TestPolicies:
         assert sched._greedy is None
 
 
+class TestCandidatesSnapshot:
+    """candidates() must tolerate queue mutation mid-iteration.
+
+    The core demotes/removes warps while walking the selection order
+    (barrier parks, warp completion, CTA teardown); the snapshot
+    contract says the live iteration never skips or duplicates a
+    candidate, and the *next* call reflects the mutation.
+    """
+
+    def _policies(self):
+        return ("two_level", "loose_rr", "gto")
+
+    def test_demote_during_iteration_is_safe(self):
+        for policy in self._policies():
+            sched = WarpScheduler(0, 3, policy=policy)
+            warps = [FakeWarp(i) for i in range(3)]
+            for warp in warps:
+                sched.add(warp)
+            order = list(sched.candidates())
+            seen = []
+            for warp in sched.candidates():
+                seen.append(warp)
+                sched.demote(warp)  # mutates ready mid-iteration
+            assert seen == order, policy
+            survivors = list(sched.candidates())
+            if policy == "two_level":
+                assert survivors == []  # all demoted to pending
+            else:
+                # Flat policies never demote; everyone stays ready.
+                assert sorted(w.slot for w in survivors) == [0, 1, 2]
+
+    def test_remove_during_iteration_is_safe(self):
+        for policy in self._policies():
+            sched = WarpScheduler(0, 3, policy=policy)
+            warps = [FakeWarp(i) for i in range(3)]
+            for warp in warps:
+                sched.add(warp)
+            seen = []
+            for warp in sched.candidates():
+                seen.append(warp)
+                if warp.slot == 0:
+                    sched.remove(warps[1])  # drop a later candidate
+            # The snapshot still yielded every original candidate
+            # exactly once, including the removed one.
+            assert sorted(w.slot for w in seen) == [0, 1, 2], policy
+            assert warps[1] not in sched.candidates()
+
+    def test_add_during_iteration_not_yielded_twice(self):
+        sched, warps = make(ready_size=6, count=3)
+        late = FakeWarp(9)
+        seen = []
+        for warp in sched.candidates():
+            seen.append(warp)
+            if len(seen) == 1:
+                sched.add(late)
+        assert late not in seen
+        assert late in sched.candidates()
+
+
 def test_policy_changes_cycle_counts():
     from repro.arch import GPUConfig
     from repro.sim import simulate

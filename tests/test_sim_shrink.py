@@ -121,6 +121,34 @@ class TestThrottle:
         assert core._throttle() == cta_b.uid
         assert core.stats.throttle_activations == 1
 
+    def test_activations_count_transitions_not_cycles(self):
+        """A sustained restriction is one activation but many
+        throttled cycles; a deactivation re-arms the counter."""
+        launch = LaunchConfig(2, 64, conc_ctas_per_sm=2)
+        core = make_core(pressure_kernel(8), launch, GPUConfig.shrunk(0.125))
+        core._launch_ctas(0)
+        cta_b = core.resident[1]
+        core.renaming.cta_assigned[cta_b.uid] = cta_b.required_regs - 1
+        core.renaming.cta_allocated[cta_b.uid] = cta_b.required_regs - 1
+        fillers = drain_regfile(core, leave_free=1)
+
+        for _ in range(5):
+            assert core._throttle() == cta_b.uid
+        assert core.stats.throttle_activations == 1
+        assert core.stats.throttle_cycles == 5
+
+        # Headroom returns: the restriction lifts without counting.
+        for phys in fillers[:8]:
+            core.regfile.free(phys, 0)
+        assert core._throttle() is None
+        assert core.stats.throttle_activations == 1
+
+        # Pressure resumes: a second transition, cycles keep summing.
+        drain_regfile(core, leave_free=1)
+        assert core._throttle() == cta_b.uid
+        assert core.stats.throttle_activations == 2
+        assert core.stats.throttle_cycles == 6
+
     def test_throttle_inactive_with_headroom(self):
         launch = LaunchConfig(2, 64, conc_ctas_per_sm=2)
         core = make_core(pressure_kernel(8), launch, GPUConfig.shrunk(0.125))
