@@ -1,24 +1,36 @@
 """Persistent hot-path benchmark harness.
 
 Runs a fixed workload sample through the three register-management
-modes (``baseline``, ``flags``, ``redefine``) and reports simulated
-cycles per wall-clock second — the throughput of the simulator's issue
-hot path, which the per-kernel decode cache and incremental core
-bookkeeping exist to speed up. Only the simulation itself is timed;
-kernel compilation (the ``flags`` prerequisite) is measured separately
-and never counted against a mode's throughput.
+modes (``baseline``, ``flags``, ``redefine``) plus a deep GPU-shrink
+stress mode (``shrink``) and reports simulated cycles per wall-clock
+second — the throughput of the simulator's hot path, which the
+per-kernel decode cache and the cycle-skipping engine exist to speed
+up. Only the simulation itself is timed; kernel compilation (the
+``flags`` prerequisite) is measured separately and never counted
+against a mode's throughput.
+
+The ``shrink`` mode runs its own sample (throttle-heavy and
+latency-bound workloads at a deep shrink fraction) twice: once with
+the cycle-skipping engine (the default) and once on the strict
+per-cycle path (``cycle_skip=False``, the engine PR 2 shipped). Both
+throughputs are recorded, so ``speedup`` — the machine-independent
+ratio between them — tracks whether the skip engine keeps paying off.
 
 Usage::
 
     python -m repro.analysis.bench                # full sample
     python -m repro.analysis.bench --quick        # CI smoke variant
     python -m repro.analysis.bench --validate BENCH_hotpath.json
+    python -m repro.analysis.bench --quick --compare BENCH_hotpath.json \
+        --gate 0.30
 
 Results are written as JSON (default ``BENCH_hotpath.json`` in the
-current directory) so successive runs can be diffed; ``--validate``
-checks an existing result file against the schema and exits non-zero
-on structural errors, which is what CI's bench-smoke job gates on
-(speed itself is machine-dependent and never a failure).
+current directory) so successive runs can be diffed. ``--validate``
+checks an existing result file against the schema; ``--compare``
+prints a per-mode delta table against an older result file; adding
+``--gate PCT`` turns the comparison into a pass/fail check (see
+:func:`gate_bench` for exactly what is gated and why raw
+``cycles_per_second`` is not).
 """
 
 from __future__ import annotations
@@ -35,14 +47,35 @@ from repro.sim.gpu import simulate
 from repro.workloads.suite import Workload, get_workload
 
 #: Schema tag embedded in every result file; bump on layout changes.
-SCHEMA = "repro-bench-hotpath/1"
+#: v2 adds the ``shrink`` mode, per-record ``ticks_executed`` /
+#: ``skipped_cycles`` / ``skipped_fraction``, and the shrink mode's
+#: ``*_noskip`` / ``speedup`` fields.
+SCHEMA = "repro-bench-hotpath/2"
 
 #: The fixed sample: small/medium kernels spanning ALU-heavy
 #: (matrixmul), divergent (blackscholes) and barrier-heavy (reduction)
 #: behaviour, so all three issue-path shapes are exercised.
 DEFAULT_WORKLOADS = ("matrixmul", "blackscholes", "reduction")
 
-MODES = ("baseline", "flags", "redefine")
+#: GPU-shrink stress sample: scalarprod and backprop are
+#: throttle-dominated at deep shrink (≥ 90% of cycles throttled, heavy
+#: spill churn); lud's serial dependency chains make it latency-bound
+#: (> 95% of cycles dead). Together they cover the regimes the
+#: cycle-skipping engine targets. Workloads absent here (heartwall,
+#: mum, ...) deadlock below fraction ~0.3 and cannot run this deep.
+SHRINK_WORKLOADS = ("scalarprod", "backprop", "lud")
+
+#: Register-file fraction for the shrink mode — deep enough that
+#: throttle/spill windows dominate (the paper's Fig. 11a regime).
+SHRINK_FRACTION = 0.15
+
+MODES = ("baseline", "flags", "redefine", "shrink")
+
+#: Minimum shrink-mode speedup (skip on vs. per-cycle) the gate
+#: accepts regardless of the reference file: the skip engine must stay
+#: a clear win even on small --quick runs, where per-``simulate``
+#: setup dilutes the full-run ratio.
+GATE_SPEEDUP_FLOOR = 1.5
 
 
 def _wave_cap(workload: Workload, waves: int) -> int:
@@ -55,61 +88,89 @@ def _bench_mode(
     """Time ``repeats`` simulations of one workload under one mode.
 
     Returns the per-mode record: total simulated work, total wall time
-    of the ``simulate`` calls, and compile time (``flags`` only) kept
-    out of the timed region.
+    of the ``simulate`` calls, and compile time (``flags`` / ``shrink``
+    only) kept out of the timed region. The ``shrink`` mode is timed
+    twice — skip engine on, then the strict per-cycle path — and the
+    record carries both throughputs plus their ratio.
     """
     cap = _wave_cap(workload, waves)
     compile_seconds = 0.0
-    if mode == "flags":
-        config = GPUConfig.renamed()
+    if mode in ("flags", "shrink"):
+        config = (
+            GPUConfig.shrunk(SHRINK_FRACTION)
+            if mode == "shrink"
+            else GPUConfig.renamed()
+        )
         started = time.perf_counter()
         compiled = compile_kernel(workload.kernel, workload.launch, config)
         compile_seconds = time.perf_counter() - started
 
-        def run():
+        def run(cycle_skip=None):
             return simulate(
                 compiled.kernel, workload.launch, config, mode="flags",
                 threshold=compiled.renaming_threshold,
-                max_ctas_per_sm_sim=cap,
+                max_ctas_per_sm_sim=cap, cycle_skip=cycle_skip,
             )
     elif mode == "redefine":
         config = GPUConfig.renamed()
 
-        def run():
+        def run(cycle_skip=None):
             return simulate(
                 workload.kernel.clone(), workload.launch, config,
                 mode="redefine", max_ctas_per_sm_sim=cap,
+                cycle_skip=cycle_skip,
             )
     else:
         config = GPUConfig.baseline()
 
-        def run():
+        def run(cycle_skip=None):
             return simulate(
                 workload.kernel.clone(), workload.launch, config,
                 mode="baseline", max_ctas_per_sm_sim=cap,
+                cycle_skip=cycle_skip,
             )
 
     wall = 0.0
     cycles = 0
     instructions = 0
+    ticks = 0
+    skipped = 0
     for _ in range(repeats):
         started = time.perf_counter()
         result = run()
         wall += time.perf_counter() - started
         cycles += result.stats.cycles
         instructions += result.stats.instructions
-    return {
+        ticks += result.stats.ticks_executed
+        skipped += result.stats.skipped_cycles
+    record = {
         "wall_seconds": wall,
         "compile_seconds": compile_seconds,
         "cycles": cycles,
         "instructions": instructions,
         "cycles_per_second": cycles / wall if wall > 0 else 0.0,
+        "ticks_executed": ticks,
+        "skipped_cycles": skipped,
+        "skipped_fraction": skipped / cycles if cycles > 0 else 0.0,
         "runs": repeats,
     }
+    if mode == "shrink":
+        wall_noskip = 0.0
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run(cycle_skip=False)
+            wall_noskip += time.perf_counter() - started
+        record["wall_seconds_noskip"] = wall_noskip
+        record["cycles_per_second_noskip"] = (
+            cycles / wall_noskip if wall_noskip > 0 else 0.0
+        )
+        record["speedup"] = wall_noskip / wall if wall > 0 else 0.0
+    return record
 
 
 def run_benchmark(
     workloads: tuple[str, ...] = DEFAULT_WORKLOADS,
+    shrink_workloads: tuple[str, ...] = SHRINK_WORKLOADS,
     scale: float = 1.0,
     waves: int = 2,
     repeats: int = 1,
@@ -120,26 +181,47 @@ def run_benchmark(
         scale = min(scale, 0.5)
         waves = 1
     built = [get_workload(name, scale=scale) for name in workloads]
+    shrink_built = [
+        get_workload(name, scale=scale) for name in shrink_workloads
+    ]
+    samples = {mode: built for mode in ("baseline", "flags", "redefine")}
+    samples["shrink"] = shrink_built
     modes: dict[str, dict] = {}
     for mode in MODES:
         wall = 0.0
+        wall_noskip = 0.0
         cycles = 0
         instructions = 0
+        ticks = 0
+        skipped = 0
         per_workload = {}
-        for workload in built:
+        for workload in samples[mode]:
             record = _bench_mode(workload, mode, waves, repeats)
             per_workload[workload.name] = record
             wall += record["wall_seconds"]
+            wall_noskip += record.get("wall_seconds_noskip", 0.0)
             cycles += record["cycles"]
             instructions += record["instructions"]
-        modes[mode] = {
+            ticks += record["ticks_executed"]
+            skipped += record["skipped_cycles"]
+        summary = {
             "wall_seconds": wall,
             "cycles": cycles,
             "instructions": instructions,
             "cycles_per_second": cycles / wall if wall > 0 else 0.0,
+            "ticks_executed": ticks,
+            "skipped_cycles": skipped,
+            "skipped_fraction": skipped / cycles if cycles > 0 else 0.0,
             "runs": repeats,
             "workloads": per_workload,
         }
+        if mode == "shrink":
+            summary["wall_seconds_noskip"] = wall_noskip
+            summary["cycles_per_second_noskip"] = (
+                cycles / wall_noskip if wall_noskip > 0 else 0.0
+            )
+            summary["speedup"] = wall_noskip / wall if wall > 0 else 0.0
+        modes[mode] = summary
     total_wall = sum(m["wall_seconds"] for m in modes.values())
     return {
         "schema": SCHEMA,
@@ -147,6 +229,8 @@ def run_benchmark(
         "scale": scale,
         "waves": waves,
         "workloads": list(w.name for w in built),
+        "shrink_workloads": list(w.name for w in shrink_built),
+        "shrink_fraction": SHRINK_FRACTION,
         "modes": modes,
         "total": {
             "wall_seconds": total_wall,
@@ -155,13 +239,23 @@ def run_benchmark(
     }
 
 
-#: (path, type) pairs every result file must contain.
+#: (path, type) pairs every mode record must contain.
 _REQUIRED_MODE_FIELDS = (
     ("wall_seconds", (int, float)),
     ("cycles", int),
     ("instructions", int),
     ("cycles_per_second", (int, float)),
+    ("ticks_executed", int),
+    ("skipped_cycles", int),
+    ("skipped_fraction", (int, float)),
     ("runs", int),
+)
+
+#: Extra fields the shrink mode must carry.
+_REQUIRED_SHRINK_FIELDS = (
+    ("wall_seconds_noskip", (int, float)),
+    ("cycles_per_second_noskip", (int, float)),
+    ("speedup", (int, float)),
 )
 
 
@@ -184,7 +278,10 @@ def validate_bench(data: object) -> list[str]:
         if not isinstance(record, dict):
             errors.append(f"modes.{mode}: missing or non-object")
             continue
-        for field, types in _REQUIRED_MODE_FIELDS:
+        required = _REQUIRED_MODE_FIELDS
+        if mode == "shrink":
+            required = required + _REQUIRED_SHRINK_FIELDS
+        for field, types in required:
             value = record.get(field)
             if not isinstance(value, types) or isinstance(value, bool):
                 errors.append(
@@ -199,22 +296,139 @@ def validate_bench(data: object) -> list[str]:
         errors.append("missing 'total.wall_seconds'")
     if not isinstance(data.get("workloads"), list):
         errors.append("missing or non-list 'workloads'")
+    if not isinstance(data.get("shrink_workloads"), list):
+        errors.append("missing or non-list 'shrink_workloads'")
+    return errors
+
+
+def _normalized(data: dict, mode: str) -> float | None:
+    """``cycles_per_second`` of ``mode`` relative to the file's own
+    baseline mode — the machine-independent shape of the results.
+    """
+    modes = data.get("modes", {})
+    base = modes.get("baseline", {}).get("cycles_per_second")
+    cps = modes.get(mode, {}).get("cycles_per_second")
+    if not base or not cps:
+        return None
+    return cps / base
+
+
+def compare_bench(old: dict, new: dict) -> str:
+    """Per-mode delta table between two result files.
+
+    Shows absolute ``cycles_per_second`` deltas (only meaningful when
+    both files come from the same machine and settings) alongside the
+    *normalized* deltas — each mode's throughput relative to the same
+    file's baseline mode — which survive machine changes and are what
+    ``--gate`` acts on.
+    """
+    lines = [
+        f"{'mode':<10} {'old c/s':>12} {'new c/s':>12} {'Δ%':>7} "
+        f"{'old norm':>9} {'new norm':>9} {'Δnorm%':>7}",
+    ]
+    for mode in MODES:
+        old_rec = old.get("modes", {}).get(mode)
+        new_rec = new.get("modes", {}).get(mode)
+        if not isinstance(old_rec, dict) or not isinstance(new_rec, dict):
+            lines.append(f"{mode:<10} {'(missing in one file)':>12}")
+            continue
+        ocps = old_rec.get("cycles_per_second") or 0.0
+        ncps = new_rec.get("cycles_per_second") or 0.0
+        delta = (ncps / ocps - 1.0) * 100 if ocps else float("nan")
+        onorm = _normalized(old, mode)
+        nnorm = _normalized(new, mode)
+        if onorm and nnorm:
+            dnorm = (nnorm / onorm - 1.0) * 100
+            norm_cols = f"{onorm:>9.3f} {nnorm:>9.3f} {dnorm:>+6.1f}%"
+        else:
+            norm_cols = f"{'-':>9} {'-':>9} {'-':>7}"
+        lines.append(
+            f"{mode:<10} {ocps:>12,.0f} {ncps:>12,.0f} {delta:>+6.1f}% "
+            + norm_cols
+        )
+    old_speed = old.get("modes", {}).get("shrink", {}).get("speedup")
+    new_speed = new.get("modes", {}).get("shrink", {}).get("speedup")
+    if old_speed is not None or new_speed is not None:
+        fmt = lambda v: f"{v:.2f}x" if v is not None else "-"  # noqa: E731
+        lines.append(
+            f"shrink speedup (skip on vs per-cycle): "
+            f"old {fmt(old_speed)}  new {fmt(new_speed)}"
+        )
+    return "\n".join(lines)
+
+
+def gate_bench(old: dict, new: dict, pct: float) -> list[str]:
+    """Regression gate; returns error strings (empty = pass).
+
+    Raw ``cycles_per_second`` is machine-dependent, so comparing a CI
+    runner's fresh numbers against a committed file's absolute values
+    would gate on hardware, not code. Instead the gate checks two
+    machine-independent quantities:
+
+    * each mode's **normalized** throughput (its ``cycles_per_second``
+      divided by the same run's baseline-mode value) must not fall
+      more than ``pct`` below the reference file's normalized value —
+      this catches a regression that slows one mode's hot path
+      (decode cache off the flags path, skip engine off the shrink
+      path) while leaving the others alone;
+    * the shrink mode's ``speedup`` (skip engine vs. per-cycle path,
+      a wall-clock ratio measured within the *same* run) must stay
+      above :data:`GATE_SPEEDUP_FLOOR` — this catches the skip engine
+      silently degenerating into the per-cycle path, which
+      normalization alone would only partially see.
+
+    A uniform slowdown across every mode is invisible to this gate by
+    design: on a shared CI runner that is noise, not signal.
+    """
+    errors: list[str] = []
+    for mode in MODES:
+        onorm = _normalized(old, mode)
+        nnorm = _normalized(new, mode)
+        if onorm is None or nnorm is None:
+            if mode != "baseline":
+                errors.append(f"gate: cannot normalize mode {mode!r}")
+            continue
+        if nnorm < onorm * (1.0 - pct):
+            errors.append(
+                f"gate: {mode} normalized cycles/s regressed "
+                f"{(1.0 - nnorm / onorm) * 100:.1f}% "
+                f"(> {pct * 100:.0f}% allowed): "
+                f"{onorm:.3f} -> {nnorm:.3f}"
+            )
+    speedup = new.get("modes", {}).get("shrink", {}).get("speedup")
+    if speedup is None:
+        errors.append("gate: new results lack shrink speedup")
+    elif speedup < GATE_SPEEDUP_FLOOR:
+        errors.append(
+            f"gate: shrink cycle-skip speedup {speedup:.2f}x below "
+            f"floor {GATE_SPEEDUP_FLOOR:.1f}x"
+        )
     return errors
 
 
 def _report(data: dict) -> str:
     lines = [
         f"hot-path benchmark ({', '.join(data['workloads'])}; "
+        f"shrink@{data['shrink_fraction']}: "
+        f"{', '.join(data['shrink_workloads'])}; "
         f"scale={data['scale']}, waves={data['waves']})",
-        f"{'mode':<10} {'cycles':>12} {'wall (s)':>10} {'cycles/s':>12}",
+        f"{'mode':<10} {'cycles':>12} {'wall (s)':>10} {'cycles/s':>12} "
+        f"{'skipped':>8}",
     ]
     for mode in MODES:
         record = data["modes"][mode]
         lines.append(
             f"{mode:<10} {record['cycles']:>12,} "
             f"{record['wall_seconds']:>10.2f} "
-            f"{record['cycles_per_second']:>12,.1f}"
+            f"{record['cycles_per_second']:>12,.1f} "
+            f"{record['skipped_fraction']:>7.1%}"
         )
+    shrink = data["modes"]["shrink"]
+    lines.append(
+        f"shrink per-cycle path: {shrink['wall_seconds_noskip']:.2f}s "
+        f"({shrink['cycles_per_second_noskip']:,.1f} cycles/s) -> "
+        f"cycle skipping speeds it up {shrink['speedup']:.2f}x"
+    )
     lines.append(f"total wall: {data['total']['wall_seconds']:.2f}s")
     return "\n".join(lines)
 
@@ -231,6 +445,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--workloads", nargs="+", default=list(DEFAULT_WORKLOADS),
         metavar="NAME", help="workload sample (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--shrink-workloads", nargs="+", default=list(SHRINK_WORKLOADS),
+        metavar="NAME",
+        help="shrink-mode workload sample (default: %(default)s)",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,
@@ -252,6 +471,16 @@ def main(argv: list[str] | None = None) -> int:
         "--validate", metavar="PATH", default=None,
         help="validate an existing result file and exit",
     )
+    parser.add_argument(
+        "--compare", metavar="PATH", default=None,
+        help="print a per-mode delta table against an older result file",
+    )
+    parser.add_argument(
+        "--gate", type=float, metavar="PCT", default=None,
+        help="with --compare: fail if any mode's normalized cycles/s "
+        "regressed more than PCT (e.g. 0.30), or the shrink-mode "
+        "cycle-skip speedup fell below the floor",
+    )
     args = parser.parse_args(argv)
 
     if args.validate is not None:
@@ -269,8 +498,21 @@ def main(argv: list[str] | None = None) -> int:
         print(f"valid: {path}")
         return 0
 
+    if args.gate is not None and args.compare is None:
+        parser.error("--gate requires --compare")
+
+    old = None
+    if args.compare is not None:
+        path = pathlib.Path(args.compare)
+        try:
+            old = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"compare: {path}: {exc}", file=sys.stderr)
+            return 1
+
     data = run_benchmark(
         workloads=tuple(args.workloads),
+        shrink_workloads=tuple(args.shrink_workloads),
         scale=args.scale,
         waves=args.waves,
         repeats=args.repeats,
@@ -280,6 +522,17 @@ def main(argv: list[str] | None = None) -> int:
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(data, indent=2) + "\n")
     print(f"wrote {out}")
+
+    if old is not None:
+        print(f"\ncompared against {args.compare}:")
+        print(compare_bench(old, data))
+        if args.gate is not None:
+            errors = gate_bench(old, data, args.gate)
+            if errors:
+                for error in errors:
+                    print(error, file=sys.stderr)
+                return 1
+            print(f"gate: pass (allowed regression {args.gate:.0%})")
     return 0
 
 

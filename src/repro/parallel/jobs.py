@@ -38,6 +38,10 @@ class CoreJob:
     max_cycles: int = 50_000_000
     #: Snapshot of the written global-memory words at dispatch time.
     gmem_image: dict[int, int] = field(default_factory=dict)
+    #: Cycle-skipping engine selection; ``None`` defers to the
+    #: worker's ``REPRO_CYCLE_SKIP`` environment. Carried explicitly so
+    #: a parent's programmatic choice survives the process boundary.
+    cycle_skip: bool | None = None
 
 
 @dataclass

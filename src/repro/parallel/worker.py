@@ -47,6 +47,7 @@ def run_core_job(job: CoreJob) -> CoreResult:
         trace_warp_slots=job.trace_warp_slots,
         spill_enabled=job.spill_enabled,
         sm_id=job.sm_id,
+        cycle_skip=job.cycle_skip,
     )
     core.cta_queue = list(job.ctaids)
     stats = core.run(max_cycles=job.max_cycles)

@@ -107,6 +107,7 @@ class SMCore:
         spill_enabled: bool = True,
         sm_id: int = 0,
         decode_cache: DecodeCache | None = None,
+        cycle_skip: bool | None = None,
     ):
         if mode not in _MODES:
             raise SimulationError(f"unknown register mode '{mode}'")
@@ -187,6 +188,24 @@ class SMCore:
         self._next_sample = 0
         self._alloc_fail_streak = 0
 
+        # Cycle-skipping engine (see docs/INTERNALS.md, "Cycle
+        # skipping"): when enabled, a tick in which no scheduler issues
+        # jumps straight to the next cycle at which the issue outcome
+        # can change, bulk-accounting the skipped span into the stall
+        # counters. ``REPRO_CYCLE_SKIP=0`` selects the strict per-cycle
+        # reference path (one full scheduler scan per simulated cycle);
+        # both paths produce bit-identical :class:`SimStats` except for
+        # the ``ticks_executed`` / ``skipped_cycles`` diagnostics.
+        if cycle_skip is None:
+            env_skip = os.environ.get("REPRO_CYCLE_SKIP", "1")
+            cycle_skip = env_skip.strip().lower() not in ("0", "off", "false")
+        self.cycle_skip = cycle_skip
+        # Memoized "CTA launch is blocked" key: while none of the
+        # inputs a launch attempt depends on have changed, re-attempting
+        # the queue head is pointless (and, per cycle, would be the
+        # reference path's hottest no-op).
+        self._launch_block_key: tuple[int, int, int, int] | None = None
+
         # Incremental bookkeeping: each of these is derivable by a scan
         # over resident CTAs/warps, but is maintained in place so the
         # per-cycle hot path stays O(1) in warp and CTA count.
@@ -255,6 +274,26 @@ class SMCore:
 
     # ------------------------------------------------------------- CTA launch
     def _launch_ctas(self, now: int) -> None:
+        if not (
+            self.cta_queue
+            and len(self.resident) < self.conc_ctas
+            and self._free_cta_slots
+            and len(self._free_warp_slots) >= self.warps_per_cta
+        ):
+            return
+        # A launch attempt's outcome depends only on residency, the
+        # register file's free pool (failure can flip to success only
+        # through a ``free``), warp-slot availability and the queue
+        # head; while none of those changed since the last failure the
+        # attempt is skipped outright.
+        key = (
+            self._residency_version,
+            self.regfile.free_events,
+            len(self._free_warp_slots),
+            len(self.cta_queue),
+        )
+        if key == self._launch_block_key:
+            return
         while (
             self.cta_queue
             and len(self.resident) < self.conc_ctas
@@ -262,6 +301,12 @@ class SMCore:
             and len(self._free_warp_slots) >= self.warps_per_cta
         ):
             if not self._launch_one_cta(now):
+                self._launch_block_key = (
+                    self._residency_version,
+                    self.regfile.free_events,
+                    len(self._free_warp_slots),
+                    len(self.cta_queue),
+                )
                 break
 
     def _launch_one_cta(self, now: int) -> bool:
@@ -285,6 +330,20 @@ class SMCore:
                         raise SimulationError("baseline allocation failed")
                     cta.static_phys.append(result[0])
             self.stats.architected_registers_demand += needed
+
+        if self.renaming is not None:
+            # Exact side-effect-free precheck: ``launch_warp`` pins
+            # ``threshold`` exempt registers per warp, and the bank
+            # fallback inside ``regfile.allocate`` means those
+            # allocations fail only when the whole file is full — so a
+            # launch succeeds iff the free pool covers the CTA's exempt
+            # demand. Failing here instead of rolling back a partial
+            # launch keeps failed attempts free of allocation/release
+            # events, which the per-cycle reference path repeats every
+            # cycle a CTA stays blocked.
+            exempt_demand = self.warps_per_cta * self.renaming.threshold
+            if self.regfile.free_count < exempt_demand:
+                return False
 
         warp_slots = []
         threads_left = self.launch.threads_per_cta
@@ -673,8 +732,10 @@ class SMCore:
                 # The extra renaming pipeline stage (7.1) deepens the
                 # front end, so a taken-branch redirect costs one more
                 # bubble cycle than the baseline.
-                warp.stalled_until = now + 1 + config.renaming_extra_cycles
-                self._stalled_wakeups.add(warp)
+                warp.stall_front_end(
+                    now + 1 + config.renaming_extra_cycles,
+                    self._stalled_wakeups,
+                )
             return
 
         if d.is_exit:
@@ -904,8 +965,10 @@ class SMCore:
                 # The extra renaming pipeline stage (7.1) deepens the
                 # front end, so a taken-branch redirect costs one more
                 # bubble cycle than the baseline.
-                warp.stalled_until = now + 1 + config.renaming_extra_cycles
-                self._stalled_wakeups.add(warp)
+                warp.stall_front_end(
+                    now + 1 + config.renaming_extra_cycles,
+                    self._stalled_wakeups,
+                )
             return
 
         if info.is_exit:
@@ -987,6 +1050,20 @@ class SMCore:
 
         restricted = self._throttle()
         stats = self.stats
+        stats.ticks_executed += 1
+        skip = self.cycle_skip
+        if skip:
+            # Snapshot of every counter a non-issuing scan can advance;
+            # a dead span repeats the same scan outcome each cycle, so
+            # the post-scan deltas times the span length is exactly
+            # what the per-cycle reference path would accumulate.
+            snap = (
+                stats.stall_scoreboard,
+                stats.stall_no_free_register,
+                stats.stall_throttled,
+                stats.renaming_reads,
+                stats.renaming_conflict_cycles,
+            )
         active = WarpStatus.ACTIVE
         issued_any = False
         alloc_blocked = False
@@ -1032,50 +1109,110 @@ class SMCore:
             if self._alloc_fail_streak >= SPILL_TRIGGER_CYCLES:
                 if self._maybe_spill(now):
                     return
-        self._idle_skip(alloc_blocked)
+        if skip:
+            self._skip_ahead(now, alloc_blocked, snap, restricted)
+        elif self._next_wake(now + 1) is None:
+            # Per-cycle reference path: nothing in flight can ever
+            # change the issue outcome — same corner as the skip
+            # engine's empty jump-target set, detected the same cycle.
+            self._force_spill_or_deadlock(alloc_blocked)
 
     def _spilled_pending(self) -> bool:
         return self._spilled_count > 0
 
-    def _idle_skip(self, alloc_blocked: bool) -> None:
-        """Fast-forward to the next wake-up when nothing can issue.
+    def _next_wake(self, nxt: int) -> int | None:
+        """Earliest cycle >= ``nxt`` at which the issue outcome can
+        change, or ``None`` when nothing in flight can ever change it.
 
-        Stalled-warp wake-up times come from ``_stalled_wakeups``, the
-        set of warps whose ``stalled_until`` may still lie in the
-        future; entries in the past (or of finished warps) are pruned
-        here, so the scan is over recently stalled warps, not every
-        resident warp.
+        The candidates are the event-queue head (writebacks, spill and
+        fill completions — memory bandwidth backlog only pushes events
+        further out, so ``MemoryUnit.busy_until`` is subsumed by the
+        heap) and the ``stalled_until`` of active warps. Stalled-warp
+        wake-up times come from ``_stalled_wakeups``, the set of warps
+        whose ``stalled_until`` may still lie in the future; entries in
+        the past (or of finished warps) are pruned here, so the scan is
+        over recently stalled warps, not every resident warp.
         """
-        targets = []
-        if self._events:
-            targets.append(self._events[0][0])
+        target = self._events[0][0] if self._events else None
         wakeups = self._stalled_wakeups
         if wakeups:
             stale: list[Warp] | None = None
             for warp in wakeups:
-                if (
-                    warp.stalled_until < self.cycle
-                    or warp.status is WarpStatus.FINISHED
-                ):
+                until = warp.stalled_until
+                if until < nxt or warp.status is WarpStatus.FINISHED:
                     if stale is None:
                         stale = []
                     stale.append(warp)
-                elif warp.status is WarpStatus.ACTIVE:
-                    targets.append(warp.stalled_until)
+                elif warp.status is WarpStatus.ACTIVE and (
+                    target is None or until < target
+                ):
+                    target = until
             if stale is not None:
                 for warp in stale:
                     wakeups.discard(warp)
-        if targets:
-            target = min(targets)
-            if alloc_blocked:
-                # Keep accounting stall cycles while blocked on registers
-                # so the spill trigger can engage.
-                skipped = max(0, target - self.cycle)
-                self._alloc_fail_streak += skipped
-            if target > self.cycle:
-                self._record_samples_until(target - 1)
-                self.cycle = target
+        return target
+
+    def _skip_ahead(self, now: int, alloc_blocked: bool,
+                    snap: tuple[int, ...], restricted: int | None) -> None:
+        """Jump over the dead span following a non-issuing tick.
+
+        ``now`` is the cycle the scan just simulated (``self.cycle`` is
+        already ``now + 1``). The jump target is the minimum over the
+        next event, the next active-warp wake-up and — while blocked on
+        allocation — the cycle the spill trigger fires; every cycle in
+        between would replay the scan verbatim (see docs/INTERNALS.md
+        for the invariant list), so its stat deltas are bulk-added
+        ``span`` more times instead.
+        """
+        nxt = now + 1
+        target = self._next_wake(nxt)
+        if target is None:
+            self._force_spill_or_deadlock(alloc_blocked)
             return
+        if alloc_blocked:
+            # A per-cycle walk would reach the spill trigger at the
+            # cycle the streak hits SPILL_TRIGGER_CYCLES; never jump
+            # past it, so the trigger tick executes for real.
+            trigger = now + (SPILL_TRIGGER_CYCLES - self._alloc_fail_streak)
+            if trigger < target:
+                target = trigger
+        span = target - nxt
+        if span <= 0:
+            return
+        if __debug__:
+            # Jumping is only sound while every scheduler's candidate
+            # set is frozen (no pending warp can self-promote).
+            assert all(s.quiescent for s in self.schedulers)
+        stats = self.stats
+        nsched = len(self.schedulers)
+        stats.issue_slots += span * nsched
+        stats.stall_no_ready_warp += span * nsched
+        stats.stall_scoreboard += span * (stats.stall_scoreboard - snap[0])
+        stats.stall_no_free_register += span * (
+            stats.stall_no_free_register - snap[1]
+        )
+        stats.stall_throttled += span * (stats.stall_throttled - snap[2])
+        stats.renaming_reads += span * (stats.renaming_reads - snap[3])
+        stats.renaming_conflict_cycles += span * (
+            stats.renaming_conflict_cycles - snap[4]
+        )
+        if restricted is not None:
+            # The restriction cannot lift mid-span: the free pool and
+            # balances only move through issues and CTA transitions.
+            stats.throttle_cycles += span
+        if alloc_blocked:
+            # Keep accounting stall cycles while blocked on registers
+            # so the spill trigger can engage.
+            self._alloc_fail_streak += span
+        stats.skipped_cycles += span
+        if self.sample_interval:
+            self._record_samples_until(target - 1)
+        self.cycle = target
+
+    def _force_spill_or_deadlock(self, alloc_blocked: bool) -> None:
+        """Nothing in flight: force the spill corner case or report a
+        deadlock. Shared verbatim by both engine paths so the corner
+        engages at the identical cycle."""
         if alloc_blocked:
             # No event will ever free registers: force the corner case.
             self._alloc_fail_streak = SPILL_TRIGGER_CYCLES

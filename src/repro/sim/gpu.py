@@ -72,6 +72,7 @@ class GPU:
         sample_interval: int = 0,
         trace_warp_slots: tuple[int, ...] = (),
         spill_enabled: bool = True,
+        cycle_skip: bool | None = None,
     ):
         if sim_sms < 1 or sim_sms > config.num_sms:
             raise SimulationError("sim_sms must be in [1, num_sms]")
@@ -81,6 +82,7 @@ class GPU:
         self.mode = mode
         self.threshold = threshold
         self.spill_enabled = spill_enabled
+        self.cycle_skip = cycle_skip
         self.gmem = GlobalMemory()
         self.cores: list[SMCore] = []
         #: Per-core (sample_interval, trace_warp_slots) used to rebuild
@@ -112,6 +114,7 @@ class GPU:
                 spill_enabled=spill_enabled,
                 sm_id=sm,
                 decode_cache=decode_cache,
+                cycle_skip=cycle_skip,
             )
             if decode_cache is None:
                 decode_cache = core._decode_cache
@@ -142,6 +145,7 @@ class GPU:
                 spill_enabled=self.spill_enabled,
                 max_cycles=max_cycles,
                 gmem_image=gmem_image,
+                cycle_skip=self.cycle_skip,
             )
             for core, opts in zip(self.cores, self._core_opts)
         ]
@@ -191,6 +195,7 @@ def simulate(
     spill_enabled: bool = True,
     max_cycles: int = 50_000_000,
     jobs: int = 1,
+    cycle_skip: bool | None = None,
 ) -> SimulationResult:
     """Simulate one kernel launch and return its statistics.
 
@@ -212,5 +217,6 @@ def simulate(
         sample_interval=sample_interval,
         trace_warp_slots=trace_warp_slots,
         spill_enabled=spill_enabled,
+        cycle_skip=cycle_skip,
     )
     return gpu.run(max_cycles=max_cycles, jobs=jobs)

@@ -86,22 +86,40 @@ class MemoryUnit:
     over-subscribed unit pushes the service start time forward, so the
     completion time of a request is::
 
-        max(now, last_slot + 1/bw) + latency
+        floor(max(now, last_slot + 1/bw)) + latency
+
+    Service slots are tracked as an exact integer numerator in units of
+    ``1/bw`` cycles rather than as accumulated floats: repeated float
+    ``+= 1/bw`` drifts for non-power-of-two bandwidths (three ``1/3``
+    additions sum to just under 1.0), which would return completion
+    cycles one early and hand the cycle-skipping engine an off-by-one
+    jump target. ``tests/test_sim_memory.py`` pins the drift case and
+    property-tests the formulation for bw <= 8.
     """
 
     def __init__(self, latency: int, requests_per_cycle: int = 1):
         self.latency = latency
-        self.interval = 1.0 / max(1, requests_per_cycle)
-        self._next_slot = 0.0
+        self.bandwidth = max(1, requests_per_cycle)
+        #: Next free service slot, in 1/bandwidth cycle units.
+        self._next_numerator = 0
         self.requests = 0
 
     def request(self, now: int) -> int:
         """Schedule one request; returns its completion cycle."""
-        start = max(float(now), self._next_slot)
-        self._next_slot = start + self.interval
+        start = max(now * self.bandwidth, self._next_numerator)
+        self._next_numerator = start + 1
         self.requests += 1
-        return int(start + self.latency)
+        # floor(start/bw + latency) == start // bw + latency for
+        # integer latency: the request completes ``latency`` cycles
+        # after the cycle its service slot falls in.
+        return start // self.bandwidth + self.latency
+
+    @property
+    def interval(self) -> float:
+        """Cycles between service slots (compat accessor)."""
+        return 1.0 / self.bandwidth
 
     @property
     def busy_until(self) -> float:
-        return self._next_slot
+        """First cycle with a free service slot (fractional)."""
+        return self._next_numerator / self.bandwidth

@@ -61,6 +61,11 @@ class PhysicalRegisterFile:
         ]
         self._allocated: set[int] = set()
         self._touched: set[int] = set()
+        #: Monotonic count of ``free`` calls. A failed allocation (or a
+        #: failed CTA-launch precheck) can only flip to success after a
+        #: register returns to the pool, so callers memoize "blocked"
+        #: decisions on this counter (see ``SMCore._launch_ctas``).
+        self.free_events = 0
 
         # Gating state: a sub-array is powered when occupied or when
         # gating is disabled (then everything is always on).
@@ -194,6 +199,7 @@ class PhysicalRegisterFile:
         heapq.heappush(self._free[bank][sub], row)
         self._bank_free[bank] += 1
         self._occupied_in_sub[bank][sub] -= 1
+        self.free_events += 1
         self.stats.registers_released_events += 1
         self._maybe_power_off(bank, sub)
 

@@ -211,3 +211,22 @@ class WarpScheduler:
     @property
     def has_warps(self) -> bool:
         return bool(self.ready or self.pending)
+
+    @property
+    def quiescent(self) -> bool:
+        """True when the next :meth:`refill` promotion scan would be a
+        no-op: no pending warps, no ready space, or nothing marked
+        dirty since the last completed scan.
+
+        This is the scheduler half of the cycle-skipping contract
+        (docs/INTERNALS.md): once a tick's refill has run, the
+        candidate set cannot change until an external ``wake()`` or an
+        issue — i.e. "nothing can change until cycle T", where T is
+        the next event or stalled-warp wake-up. The skip engine asserts
+        this before jumping over a dead span.
+        """
+        return (
+            not self.pending
+            or not self._refill_dirty
+            or len(self.ready) >= self.ready_size
+        )

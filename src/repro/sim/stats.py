@@ -30,6 +30,18 @@ class SimStats:
     memory_instructions: int = 0
     barriers: int = 0
 
+    # --- engine diagnostics -------------------------------------------------
+    #: Ticks the engine actually executed (full scheduler scans). With
+    #: cycle skipping off this equals the SM's simulated cycles; with it
+    #: on, ``ticks_executed + skipped_cycles == cycles`` per SM. These
+    #: two fields describe the *engine*, not the simulated hardware —
+    #: they are the only SimStats fields allowed to differ between
+    #: ``REPRO_CYCLE_SKIP`` settings, and the equivalence suite excludes
+    #: exactly them.
+    ticks_executed: int = 0
+    #: Dead cycles fast-forwarded by the cycle-skipping engine.
+    skipped_cycles: int = 0
+
     # --- issue / stall accounting --------------------------------------------
     issue_slots: int = 0
     issued: int = 0
@@ -146,6 +158,7 @@ class SimStats:
             "spill_events",
             "fill_events", "spilled_registers", "ctas_completed",
             "warps_completed", "architected_registers_demand",
+            "ticks_executed", "skipped_cycles",
         ):
             setattr(self, name, getattr(self, name) + getattr(other, name))
         self.max_live_registers = max(

@@ -113,6 +113,18 @@ class Warp:
             self._mask_key = mask
         return self._mask_arr
 
+    def stall_front_end(self, until: int, wakeups: set) -> None:
+        """Park the front end until ``until`` and register the warp in
+        the core's wake-up set.
+
+        Every ``stalled_until`` write must go through here (or add the
+        warp to ``wakeups`` itself): the cycle-skipping engine derives
+        its jump targets from that set, so a stalled warp it does not
+        know about would be fast-forwarded past its wake-up cycle.
+        """
+        self.stalled_until = until
+        wakeups.add(self)
+
     # --- scoreboard --------------------------------------------------------------
     def scoreboard_ready(self, inst) -> bool:
         """True when no RAW/WAW hazard blocks ``inst``."""

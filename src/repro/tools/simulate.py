@@ -13,6 +13,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.analysis.runners import (
@@ -51,6 +52,9 @@ def build_parser() -> argparse.ArgumentParser:
                         help="workload loop-scale factor")
     parser.add_argument("--waves", type=int, default=2,
                         help="CTA waves per simulated SM (0 = all)")
+    parser.add_argument("--no-cycle-skip", action="store_true",
+                        help="run the strict per-cycle engine instead of "
+                             "the (bit-identical) cycle-skipping one")
     return parser
 
 
@@ -105,11 +109,19 @@ def report(artifact_stats, result, design: str) -> str:
             f"sub-array wakeups: {stats.subarray_wakeups} "
             f"(mean active {stats.mean_subarrays_active:.1f})"
         )
+    if stats.skipped_cycles:
+        lines.append(
+            f"cycle skipping   : {stats.skipped_cycles} of "
+            f"{result.cycles} cycles fast-forwarded "
+            f"({stats.ticks_executed} ticks executed)"
+        )
     return "\n".join(lines)
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.no_cycle_skip:
+        os.environ["REPRO_CYCLE_SKIP"] = "0"
     workload = get_workload(args.workload, scale=args.scale)
     waves = args.waves if args.waves > 0 else None
     config = _config(args)

@@ -8,22 +8,37 @@ import pytest
 
 from repro.analysis.bench import (
     DEFAULT_WORKLOADS,
+    GATE_SPEEDUP_FLOOR,
     MODES,
     SCHEMA,
+    SHRINK_WORKLOADS,
+    compare_bench,
+    gate_bench,
     main,
     run_benchmark,
     validate_bench,
 )
 
 #: One tiny workload keeps the CLI round-trips fast.
-TINY = ["--workloads", "vectoradd", "--quick"]
+TINY = [
+    "--workloads", "vectoradd", "--shrink-workloads", "vectoradd",
+    "--quick",
+]
+
+
+def _tiny_benchmark():
+    return run_benchmark(
+        workloads=("vectoradd",), shrink_workloads=("vectoradd",),
+        quick=True,
+    )
 
 
 class TestRunBenchmark:
     def test_matrix_shape_and_schema(self):
-        data = run_benchmark(workloads=("vectoradd",), quick=True)
+        data = _tiny_benchmark()
         assert data["schema"] == SCHEMA
         assert data["workloads"] == ["vectoradd"]
+        assert data["shrink_workloads"] == ["vectoradd"]
         assert set(data["modes"]) == set(MODES)
         for mode in MODES:
             record = data["modes"][mode]
@@ -31,21 +46,31 @@ class TestRunBenchmark:
             assert record["instructions"] > 0
             assert record["wall_seconds"] > 0
             assert record["cycles_per_second"] > 0
+            assert record["ticks_executed"] > 0
+            assert record["skipped_cycles"] >= 0
+            assert 0.0 <= record["skipped_fraction"] < 1.0
             assert "vectoradd" in record["workloads"]
-        # Only the flags flow compiles, and never inside the timer.
-        assert data["modes"]["flags"]["workloads"]["vectoradd"][
-            "compile_seconds"
-        ] > 0
+        # Only the flags flows compile, and never inside the timer.
+        for mode in ("flags", "shrink"):
+            assert data["modes"][mode]["workloads"]["vectoradd"][
+                "compile_seconds"
+            ] > 0
+        # The shrink mode times the per-cycle path too.
+        shrink = data["modes"]["shrink"]
+        assert shrink["wall_seconds_noskip"] > 0
+        assert shrink["cycles_per_second_noskip"] > 0
+        assert shrink["speedup"] > 0
         assert validate_bench(data) == []
 
-    def test_default_sample_is_stable(self):
+    def test_default_samples_are_stable(self):
         assert DEFAULT_WORKLOADS == ("matrixmul", "blackscholes",
                                      "reduction")
+        assert SHRINK_WORKLOADS == ("scalarprod", "backprop", "lud")
 
 
 class TestValidate:
     def _valid(self):
-        return run_benchmark(workloads=("vectoradd",), quick=True)
+        return _tiny_benchmark()
 
     def test_rejects_non_object(self):
         assert validate_bench([1, 2]) != []
@@ -67,6 +92,83 @@ class TestValidate:
         assert any(
             "modes.baseline.cycles" in e for e in validate_bench(data)
         )
+
+    def test_rejects_missing_shrink_extras(self):
+        data = self._valid()
+        del data["modes"]["shrink"]["speedup"]
+        assert any(
+            "modes.shrink.speedup" in e for e in validate_bench(data)
+        )
+
+
+def _synthetic_result(
+    base_cps=100.0, flags_cps=80.0, redefine_cps=70.0, shrink_cps=300.0,
+    speedup=3.0,
+):
+    """Minimal two-file comparison fixture (no simulation needed)."""
+    modes = {}
+    for mode, cps in (
+        ("baseline", base_cps), ("flags", flags_cps),
+        ("redefine", redefine_cps), ("shrink", shrink_cps),
+    ):
+        modes[mode] = {
+            "wall_seconds": 1.0,
+            "cycles": int(cps),
+            "instructions": 100,
+            "cycles_per_second": cps,
+            "ticks_executed": 50,
+            "skipped_cycles": 50,
+            "skipped_fraction": 0.5,
+            "runs": 1,
+        }
+    modes["shrink"].update(
+        wall_seconds_noskip=speedup,
+        cycles_per_second_noskip=shrink_cps / speedup,
+        speedup=speedup,
+    )
+    return {
+        "schema": SCHEMA, "quick": False, "scale": 1.0, "waves": 2,
+        "workloads": ["w"], "shrink_workloads": ["s"],
+        "shrink_fraction": 0.15, "modes": modes,
+        "total": {"wall_seconds": 4.0, "cycles": 4},
+    }
+
+
+class TestCompareAndGate:
+    def test_compare_reports_normalized_deltas(self):
+        old = _synthetic_result()
+        new = _synthetic_result(base_cps=200.0, flags_cps=160.0,
+                                redefine_cps=140.0, shrink_cps=600.0)
+        table = compare_bench(old, new)
+        # Twice as fast absolutely, but identical shape: every
+        # normalized delta is zero.
+        assert "+100.0%" in table
+        assert "+0.0%" in table
+        assert "3.00x" in table
+
+    def test_gate_passes_identical_shape(self):
+        old = _synthetic_result()
+        new = _synthetic_result(base_cps=50.0, flags_cps=40.0,
+                                redefine_cps=35.0, shrink_cps=150.0)
+        # A uniform slowdown (different machine) is not a regression.
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_gate_fails_on_mode_regression(self):
+        old = _synthetic_result()
+        new = _synthetic_result(flags_cps=40.0)  # 0.8 -> 0.4 normalized
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("flags" in e for e in errors)
+
+    def test_gate_tolerates_small_regression(self):
+        old = _synthetic_result()
+        new = _synthetic_result(flags_cps=70.0)  # 0.8 -> 0.7 normalized
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_gate_fails_when_speedup_collapses(self):
+        old = _synthetic_result()
+        new = _synthetic_result(speedup=GATE_SPEEDUP_FLOOR - 0.2)
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("speedup" in e for e in errors)
 
 
 class TestCli:
@@ -96,6 +198,31 @@ class TestCli:
         out.write_text("{not json")
         assert main(["--validate", str(out)]) == 1
         assert "invalid" in capsys.readouterr().err
+
+    def test_compare_prints_delta_table(self, tmp_path, capsys):
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(_synthetic_result()))
+        out = tmp_path / "new.json"
+        assert main(TINY + ["--out", str(out),
+                            "--compare", str(old)]) == 0
+        printed = capsys.readouterr().out
+        assert "compared against" in printed
+        assert "Δnorm%" in printed
+
+    def test_gate_requires_compare(self, capsys):
+        with pytest.raises(SystemExit):
+            main(TINY + ["--gate", "0.30"])
+
+    def test_gate_failure_sets_exit_code(self, tmp_path, capsys):
+        # A reference whose normalized shrink throughput is
+        # unreachably high forces a gate failure.
+        reference = _synthetic_result(shrink_cps=100000.0)
+        old = tmp_path / "old.json"
+        old.write_text(json.dumps(reference))
+        out = tmp_path / "new.json"
+        assert main(TINY + ["--out", str(out), "--compare", str(old),
+                            "--gate", "0.30"]) == 1
+        assert "gate:" in capsys.readouterr().err
 
 
 class TestRunnerProfile:

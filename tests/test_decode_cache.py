@@ -80,7 +80,10 @@ class TestEquivalence:
 
 
 class TestSharing:
-    def test_cache_shared_across_cores(self):
+    def test_cache_shared_across_cores(self, monkeypatch):
+        # Pin the cache on: the tier-1 suite also runs with
+        # REPRO_DECODE_CACHE=0, where there is no cache to share.
+        monkeypatch.setenv("REPRO_DECODE_CACHE", "1")
         workload = get_workload("matrixmul", **QUICK)
         gpu = GPU(
             GPUConfig.renamed(), workload.kernel.clone(), workload.launch,

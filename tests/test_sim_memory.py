@@ -1,7 +1,11 @@
 """Functional and timing memory model tests."""
 
+from fractions import Fraction
+
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.sim.memory import GlobalMemory, MemoryUnit, SharedMemory
 
@@ -99,6 +103,63 @@ class TestMemoryUnit:
         unit = MemoryUnit(latency=10)
         unit.request(0)
         assert unit.busy_until == pytest.approx(1.0)
+
+
+class _ExactRationalUnit:
+    """Reference model: the 1/bw slot recurrence in exact arithmetic.
+
+    ``MemoryUnit`` must behave as if each request occupied a
+    ``1/bandwidth``-cycle slot with no rounding error; this model
+    states that contract with :class:`fractions.Fraction` so the
+    integer-numerator implementation can be checked against it
+    request by request.
+    """
+
+    def __init__(self, latency: int, bandwidth: int):
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self._next_free = Fraction(0)
+
+    def request(self, now: int) -> int:
+        start = max(Fraction(now), self._next_free)
+        self._next_free = start + Fraction(1, self.bandwidth)
+        return int(start) + self.latency  # floor to the issuing cycle
+
+    @property
+    def busy_until(self) -> Fraction:
+        return self._next_free
+
+
+class TestMemoryUnitExactness:
+    """The cycle-skip engine derives jump targets from completion
+    times, so they must be exact — a float ``1/bw`` accumulator can
+    drift a slot across a cycle boundary and move a completion by one.
+    """
+
+    def test_float_drift_regression_bw3(self):
+        # With float slots, three 1/3 increments sum to
+        # 0.99999999999999989, so the fourth same-cycle request
+        # started in "cycle 0" and completed a cycle early.
+        unit = MemoryUnit(latency=100, requests_per_cycle=3)
+        times = [unit.request(0) for _ in range(4)]
+        assert times == [100, 100, 100, 101]
+
+    @given(
+        latency=st.integers(min_value=0, max_value=1000),
+        bandwidth=st.integers(min_value=1, max_value=8),
+        gaps=st.lists(
+            st.integers(min_value=0, max_value=7), min_size=1, max_size=60
+        ),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_matches_exact_rational_model(self, latency, bandwidth, gaps):
+        unit = MemoryUnit(latency=latency, requests_per_cycle=bandwidth)
+        model = _ExactRationalUnit(latency, bandwidth)
+        now = 0
+        for gap in gaps:
+            now += gap
+            assert unit.request(now) == model.request(now)
+            assert unit.busy_until == float(model.busy_until)
 
 
 class TestMemoryUnitProperties:
