@@ -12,10 +12,18 @@ Every experiment needs the same four flows:
 (``waves x concurrent CTAs``); two waves reach steady state while
 keeping the pure-Python simulations fast.
 
+All four flows run their compilation/simulation through the
+content-addressed result cache (:mod:`repro.cache`): a repeated flow
+with content-identical inputs is answered from the cache with a
+bit-identical result. ``REPRO_RESULT_CACHE=0`` restores the direct
+path.
+
 :func:`run_sweep` fans a list of independent flow specifications out
 across worker processes (``jobs``) through :mod:`repro.parallel`,
 returning results in input order — the building block for multi-config
-design-space sweeps.
+design-space sweeps. Content-identical specs are deduplicated before
+dispatch: each unique simulation runs once, and the shared result is
+fanned back to every requesting position.
 """
 
 from __future__ import annotations
@@ -30,8 +38,14 @@ from repro.baselines.compiler_spill import (
     run_compiler_spill,
 )
 from repro.baselines.hardware_only import run_hardware_only
-from repro.compiler import CompiledKernel, compile_kernel
-from repro.sim.gpu import SimulationResult, simulate
+from repro.cache import (
+    cached_compile_kernel,
+    cached_simulate,
+    flow_spec_key,
+    get_cache,
+)
+from repro.compiler import CompiledKernel
+from repro.sim.gpu import SimulationResult
 from repro.workloads.suite import Workload
 
 
@@ -62,8 +76,8 @@ def run_baseline(
 ) -> RunArtifacts:
     """Conventional register management on a full-size file."""
     config = config or GPUConfig.baseline()
-    result = simulate(
-        workload.kernel.clone(),
+    result = cached_simulate(
+        workload.kernel,
         workload.launch,
         config,
         mode="baseline",
@@ -81,8 +95,8 @@ def run_virtualized(
 ) -> RunArtifacts:
     """Compile with release metadata and simulate with renaming."""
     config = config or GPUConfig.renamed()
-    compiled = compile_kernel(workload.kernel, workload.launch, config)
-    result = simulate(
+    compiled = cached_compile_kernel(workload.kernel, workload.launch, config)
+    result = cached_simulate(
         compiled.kernel,
         workload.launch,
         config,
@@ -106,6 +120,7 @@ def run_hardware_only_baseline(
         workload.launch,
         config or GPUConfig.renamed(),
         max_ctas_per_sm_sim=_wave_cap(workload, waves),
+        simulate_fn=cached_simulate,
         **kwargs,
     )
     return RunArtifacts(workload=workload, result=result)
@@ -123,6 +138,7 @@ def run_compiler_spill_baseline(
         workload.launch,
         shrunk_bytes=shrunk_bytes,
         max_ctas_per_sm_sim=_wave_cap(workload, waves),
+        simulate_fn=cached_simulate,
         **kwargs,
     )
 
@@ -133,6 +149,17 @@ FLOWS = {
     "virtualized": run_virtualized,
     "hardware_only": run_hardware_only_baseline,
     "compiler_spill": run_compiler_spill_baseline,
+}
+
+#: Per-flow defaults applied before fingerprinting a spec, so that
+#: e.g. ``("virtualized", w, {})`` and ``("virtualized", w,
+#: {"config": GPUConfig.renamed()})`` — which run the exact same
+#: simulation — deduplicate to one dispatch.
+_FLOW_DEFAULTS = {
+    "baseline": lambda: {"config": GPUConfig.baseline(), "waves": 2},
+    "virtualized": lambda: {"config": GPUConfig.renamed(), "waves": 2},
+    "hardware_only": lambda: {"config": GPUConfig.renamed(), "waves": 2},
+    "compiler_spill": lambda: {"shrunk_bytes": 64 * 1024, "waves": 2},
 }
 
 
@@ -148,6 +175,35 @@ def run_flow(spec: tuple) -> object:
     return runner(workload, **kwargs)
 
 
+def run_flow_exporting(spec: tuple) -> tuple[object, list]:
+    """Pool worker entry: run one spec, return it with cache exports.
+
+    The worker's cache entries (fresh simulate/compile results) ride
+    back with the flow result so the parent can absorb them; that is
+    how a warmed pool run seeds the parent cache that experiments
+    replay against.
+    """
+    cache = get_cache()
+    result = run_flow(spec)
+    return result, cache.take_exports()
+
+
+def spec_fingerprint(spec: tuple) -> str:
+    """Content fingerprint of one sweep spec, with flow defaults applied.
+
+    Raises :class:`TypeError` if the kwargs contain something the
+    fingerprinter does not understand; :func:`run_sweep` treats that
+    spec as unique.
+    """
+    flow, workload, *rest = spec
+    kwargs = dict(rest[0]) if rest else {}
+    if flow in _FLOW_DEFAULTS:
+        for name, value in _FLOW_DEFAULTS[flow]().items():
+            if kwargs.get(name) is None:
+                kwargs[name] = value
+    return flow_spec_key(flow, workload, kwargs)
+
+
 def run_sweep(
     specs: list[tuple[str, Workload, dict]],
     jobs: int = 1,
@@ -158,5 +214,38 @@ def run_sweep(
     :data:`FLOWS`. Results come back in input order regardless of
     ``jobs``, and ``jobs=1`` produces the identical objects a plain
     loop over the flow functions would.
+
+    Content-identical specs are deduplicated before dispatch: the
+    unique set runs once (through the pool when ``jobs > 1``) and the
+    shared result object is fanned back to every position that asked
+    for it. With ``jobs > 1`` each worker also exports its fresh cache
+    entries, which are absorbed into this process's cache.
     """
-    return parallel_map(run_flow, list(specs), jobs)
+    work = list(specs)
+    # Map each input position to a unique-spec slot. Unfingerprintable
+    # specs (exotic kwargs) fall back to being their own slot.
+    unique: list[tuple] = []
+    slot_of: list[int] = []
+    seen: dict[str, int] = {}
+    for index, spec in enumerate(work):
+        try:
+            key = spec_fingerprint(spec)
+        except TypeError:
+            key = f"<opaque:{index}>"
+        slot = seen.get(key)
+        if slot is None:
+            slot = len(unique)
+            seen[key] = slot
+            unique.append(spec)
+        slot_of.append(slot)
+
+    if jobs > 1 and len(unique) > 1:
+        cache = get_cache()
+        outcomes = parallel_map(run_flow_exporting, unique, jobs)
+        results = []
+        for result, exports in outcomes:
+            cache.absorb(exports)
+            results.append(result)
+    else:
+        results = [run_flow(spec) for spec in unique]
+    return [results[slot] for slot in slot_of]

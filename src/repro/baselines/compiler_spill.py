@@ -54,12 +54,15 @@ def run_compiler_spill(
     launch: LaunchConfig,
     shrunk_bytes: int = 64 * 1024,
     base_config: GPUConfig | None = None,
+    simulate_fn=simulate,
     **simulate_kwargs,
 ) -> SpillBaselineResult:
     """Recompile ``kernel`` for a ``shrunk_bytes`` file and simulate it.
 
     The returned simulation runs in ``baseline`` mode (no renaming) on
     a conventionally managed register file of the shrunk size.
+    ``simulate_fn`` lets callers route through the result cache
+    (:func:`repro.cache.cached_simulate`).
     """
     base = base_config or GPUConfig.baseline()
     config = base.replace(
@@ -70,7 +73,7 @@ def run_compiler_spill(
     )
     budget = spill_register_budget(kernel, launch, config)
     spill = spill_to_budget(kernel, budget)
-    result = simulate(
+    result = simulate_fn(
         spill.kernel, launch, config, mode="baseline", **simulate_kwargs
     )
     return SpillBaselineResult(

@@ -24,14 +24,19 @@ def run_hardware_only(
     kernel: Kernel,
     launch: LaunchConfig,
     config: GPUConfig | None = None,
+    simulate_fn=simulate,
     **simulate_kwargs,
 ) -> SimulationResult:
     """Simulate ``kernel`` under hardware-only renaming.
 
     ``kernel`` must be metadata-free (an uncompiled kernel); the
-    reconvergence annotation is applied automatically.
+    reconvergence annotation is applied automatically. ``simulate_fn``
+    lets callers route through the result cache
+    (:func:`repro.cache.cached_simulate`, which clones internally).
     """
     config = config or GPUConfig.renamed()
-    return simulate(
-        kernel.clone(), launch, config, mode="redefine", **simulate_kwargs
+    if simulate_fn is simulate:
+        kernel = kernel.clone()
+    return simulate_fn(
+        kernel, launch, config, mode="redefine", **simulate_kwargs
     )

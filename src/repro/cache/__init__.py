@@ -1,0 +1,124 @@
+"""Content-addressed result cache for simulations and compilations.
+
+The *reproduce-all-figures* path runs many overlapping simulations:
+the experiment scripts contain dozens of ``run_baseline`` /
+``run_virtualized`` call sites whose (workload, config, waves) inputs
+repeat across figures. This package memoizes those results behind a
+stable content fingerprint, with two tiers:
+
+* an in-memory dict (always, per process), and
+* an optional on-disk directory, so a second invocation — e.g. a
+  rerun of ``python -m repro.experiments.runner`` — starts warm.
+
+Configuration, in precedence order:
+
+* library callers: :func:`configure_cache` / explicit ``cache=``
+  arguments;
+* CLI: ``--cache-dir`` / ``--no-cache`` on the experiment runner;
+* environment: ``REPRO_RESULT_CACHE`` — ``0`` disables caching
+  entirely, ``1``/unset enables the memory tier only, any other value
+  is used as the on-disk directory path.
+
+See ``docs/INTERNALS.md`` ("Result cache & sweep planner") for the key
+derivation and invalidation rules.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cache.fingerprint import (
+    CACHE_SCHEMA_VERSION,
+    compile_key,
+    engine_fingerprint,
+    fingerprint,
+    flow_spec_key,
+    simulate_key,
+)
+from repro.cache.memo import cached_compile_kernel, cached_simulate
+from repro.cache.store import MISS, CacheCounters, ResultCache
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheCounters",
+    "MISS",
+    "ResultCache",
+    "cache_env_value",
+    "cached_compile_kernel",
+    "cached_simulate",
+    "compile_key",
+    "configure_cache",
+    "engine_fingerprint",
+    "fingerprint",
+    "flow_spec_key",
+    "get_cache",
+    "reset_cache",
+    "simulate_key",
+    "swap_cache",
+]
+
+_FALSY = ("0", "off", "false", "no")
+_TRUTHY = ("", "1", "on", "true", "yes")
+
+#: The process-wide default cache; built lazily from the environment.
+_default: ResultCache | None = None
+
+
+def _cache_from_env() -> ResultCache:
+    raw = os.environ.get("REPRO_RESULT_CACHE", "").strip()
+    low = raw.lower()
+    if low in _FALSY:
+        return ResultCache(enabled=False)
+    if low in _TRUTHY:
+        return ResultCache()
+    return ResultCache(directory=raw)
+
+
+def get_cache() -> ResultCache:
+    """The process default cache (created from the env on first use)."""
+    global _default
+    if _default is None:
+        _default = _cache_from_env()
+    return _default
+
+
+def configure_cache(
+    directory: str | os.PathLike | None = None,
+    enabled: bool = True,
+) -> ResultCache:
+    """Replace the default cache with an explicit configuration."""
+    global _default
+    _default = ResultCache(directory=directory, enabled=enabled)
+    return _default
+
+
+def swap_cache(cache: ResultCache | None) -> ResultCache | None:
+    """Install ``cache`` as the default; returns the previous one.
+
+    Used by harnesses (benchmark, tests) that need a scoped cache and
+    must restore the caller's afterwards.
+    """
+    global _default
+    previous, _default = _default, cache
+    return previous
+
+
+def reset_cache() -> None:
+    """Drop the default cache; the next use re-reads the environment."""
+    global _default
+    _default = None
+
+
+def cache_env_value(cache: ResultCache) -> str:
+    """The ``REPRO_RESULT_CACHE`` value that reproduces ``cache``.
+
+    Worker processes build their own default cache from the
+    environment, so a parent that configured its cache
+    programmatically exports this value before fanning out (see the
+    experiment runner).
+    """
+    if not cache.enabled:
+        return "0"
+    if cache.directory is not None:
+        return str(cache.directory)
+    return "1"

@@ -1,0 +1,183 @@
+"""Two-tier content-addressed result store: memory dict + disk dir.
+
+Payloads are stored as pickle bytes in both tiers. Storing bytes (not
+live objects) means every hit — memory or disk — returns a fresh
+unpickle, so callers can never alias or mutate a cached result, and a
+warm hit is byte-for-byte the same deserialization a cold run's
+``put`` produced. Disk writes go through a temp file + ``os.replace``
+so concurrent writers (pool workers sharing a directory) can never
+leave a torn entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import pickle
+import tempfile
+from dataclasses import dataclass
+
+
+class _Miss:
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<cache miss>"
+
+
+#: Sentinel returned by :meth:`ResultCache.get` on a miss (``None`` is
+#: a legitimate cached value).
+MISS = _Miss()
+
+
+@dataclass
+class CacheCounters:
+    """Hit/miss/store accounting surfaced in reports."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    bytes_written: int = 0
+    bytes_read: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"{self.hits} hits, {self.misses} misses, "
+            f"{self.stores} stores, "
+            f"{_human_bytes(self.bytes_written)} written, "
+            f"{_human_bytes(self.bytes_read)} read from disk"
+        )
+
+
+def _human_bytes(count: int) -> str:
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.1f} {unit}" if unit != "B" else f"{count} B"
+        value /= 1024.0
+    return f"{count} B"  # pragma: no cover - unreachable
+
+
+class ResultCache:
+    """Content-addressed store for simulation/compilation results.
+
+    ``directory=None`` keeps the cache memory-only (one process's
+    lifetime); with a directory every store is also persisted, and
+    misses fall through to disk before recomputing. ``enabled=False``
+    turns every lookup into a miss and every store into a no-op — the
+    honest uncached path, selectable via ``REPRO_RESULT_CACHE=0``.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        enabled: bool = True,
+    ):
+        self.directory = (
+            pathlib.Path(directory) if directory is not None else None
+        )
+        self.enabled = enabled
+        self._memory: dict[str, bytes] = {}
+        #: (key, payload) pairs stored since the last ``take_exports``
+        #: — how pool workers ship their fresh entries back to the
+        #: parent process (see ``repro.analysis.runners.run_sweep``).
+        self._exports: list[tuple[str, bytes]] = []
+        self.counters = CacheCounters()
+
+    # ------------------------------------------------------------ lookup
+    def get(self, key: str) -> object:
+        """Return the cached value for ``key``, or :data:`MISS`."""
+        if not self.enabled:
+            self.counters.misses += 1
+            return MISS
+        payload = self._memory.get(key)
+        if payload is None and self.directory is not None:
+            try:
+                payload = self._path(key).read_bytes()
+            except OSError:
+                payload = None
+            if payload is not None:
+                self._memory[key] = payload
+                self.counters.bytes_read += len(payload)
+        if payload is None:
+            self.counters.misses += 1
+            return MISS
+        self.counters.hits += 1
+        return pickle.loads(payload)
+
+    def put(self, key: str, value: object) -> None:
+        """Store ``value`` under ``key`` (memory + disk if configured)."""
+        if not self.enabled:
+            return
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        self._store(key, payload)
+        self._exports.append((key, payload))
+
+    def memoize(self, key: str, compute) -> object:
+        """``get`` or ``compute()``-then-``put`` in one step."""
+        value = self.get(key)
+        if value is not MISS:
+            return value
+        value = compute()
+        self.put(key, value)
+        return value
+
+    # ------------------------------------------------------ fan-back API
+    def take_exports(self) -> list[tuple[str, bytes]]:
+        """Drain and return entries stored since the last drain."""
+        exports, self._exports = self._exports, []
+        return exports
+
+    def absorb(self, entries: list[tuple[str, bytes]]) -> int:
+        """Import exported entries from another process's cache.
+
+        Already-present keys are skipped; returns how many were added.
+        """
+        if not self.enabled:
+            return 0
+        added = 0
+        for key, payload in entries:
+            if key in self._memory:
+                continue
+            self._store(key, payload)
+            added += 1
+        return added
+
+    # ------------------------------------------------------------ internals
+    def _store(self, key: str, payload: bytes) -> None:
+        self._memory[key] = payload
+        self.counters.stores += 1
+        self.counters.bytes_written += len(payload)
+        if self.directory is None:
+            return
+        # Created lazily so configuring a directory costs nothing until
+        # something is actually cached.
+        self.directory.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.directory, prefix=f".{key[:16]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(payload)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _path(self, key: str) -> pathlib.Path:
+        assert self.directory is not None
+        return self.directory / f"{key}.pkl"
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def describe(self) -> str:
+        """One-line state summary for runner reports."""
+        where = (
+            f"dir {self.directory}" if self.directory is not None
+            else "memory only"
+        )
+        if not self.enabled:
+            return "cache: disabled (REPRO_RESULT_CACHE=0)"
+        return f"cache: {self.counters.summary()} ({where})"

@@ -24,9 +24,8 @@ from __future__ import annotations
 from repro.analysis.runners import run_baseline, run_virtualized
 from repro.analysis.tables import Table
 from repro.arch import GPUConfig
-from repro.compiler import compile_kernel
+from repro.cache import cached_compile_kernel, cached_simulate
 from repro.experiments.base import ExperimentResult
-from repro.sim import simulate
 from repro.workloads.suite import get_workload
 
 EXPERIMENT = "ablations"
@@ -95,11 +94,11 @@ def _edge_releases(scale: float, waves: int | None) -> Table:
         workload = get_workload(name, scale=scale)
         for enabled in (True, False):
             config = GPUConfig.renamed()
-            compiled = compile_kernel(
+            compiled = cached_compile_kernel(
                 workload.kernel, workload.launch, config,
                 edge_releases=enabled,
             )
-            result = simulate(
+            result = cached_simulate(
                 compiled.kernel, workload.launch, config, mode="flags",
                 threshold=compiled.renaming_threshold,
                 sample_interval=20,
@@ -163,6 +162,59 @@ def _bank_preservation(scale: float, waves: int | None) -> Table:
                 cycles[preserving] / cycles[True],
             )
     return table
+
+
+def flows(scale: float = 1.0, waves: int | None = 2,
+          **_ignored) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner).
+
+    The edge-release ablation's ``edge_releases=False`` leg compiles
+    differently and is not expressible as a flow spec; it runs during
+    replay (still memoized by the result cache, just not pre-warmed).
+    """
+    specs = []
+    for name in CONSOLIDATION_WORKLOADS:
+        workload = get_workload(name, scale=scale)
+        for policy in ("consolidate", "scatter"):
+            specs.append(
+                ("virtualized", workload,
+                 {"config": GPUConfig.renamed(
+                     gating_enabled=True, allocation_policy=policy),
+                  "waves": waves})
+            )
+    for name in THROTTLE_WORKLOADS:
+        workload = get_workload(name, scale=scale)
+        specs.append(("baseline", workload, {"waves": waves}))
+        for policy in ("assigned", "mapped"):
+            specs.append(
+                ("virtualized", workload,
+                 {"config": GPUConfig.shrunk(0.5, throttle_policy=policy),
+                  "waves": waves})
+            )
+    for name in EDGE_WORKLOADS:
+        workload = get_workload(name, scale=scale)
+        specs.append(
+            ("virtualized", workload,
+             {"waves": waves, "sample_interval": 20})
+        )
+    for name in STAGE_WORKLOADS:
+        workload = get_workload(name, scale=scale)
+        for extra in (0, 1, 3):
+            specs.append(
+                ("virtualized", workload,
+                 {"config": GPUConfig.renamed(renaming_extra_cycles=extra),
+                  "waves": waves})
+            )
+    for name in BANK_WORKLOADS:
+        workload = get_workload(name, scale=scale)
+        for preserving in (True, False):
+            specs.append(
+                ("virtualized", workload,
+                 {"config": GPUConfig.renamed(
+                     bank_preserving_renaming=preserving),
+                  "waves": waves})
+            )
+    return specs
 
 
 def run(scale: float = 1.0, waves: int | None = 2,

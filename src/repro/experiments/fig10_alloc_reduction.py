@@ -19,6 +19,20 @@ from repro.workloads.suite import all_workload_names, get_workload
 EXPERIMENT = "fig10"
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    names = workloads or all_workload_names()
+    return [
+        ("virtualized", get_workload(name, scale=scale), {"waves": waves})
+        for name in names
+    ]
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

@@ -39,6 +39,40 @@ def fits_64kb(workload) -> bool:
     return demand <= (64 * 1024) // 128
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    shrink_fraction: float = 0.5,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    names = tuple(workloads or all_workload_names())
+    shrunk = GPUConfig.shrunk(shrink_fraction)
+    shrunk_bytes = int(128 * 1024 * shrink_fraction)
+    specs = []
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        specs.append(("baseline", workload, {"waves": waves}))
+        specs.append(
+            ("virtualized", workload, {"config": shrunk, "waves": waves})
+        )
+        specs.append(
+            ("compiler_spill", workload,
+             {"shrunk_bytes": shrunk_bytes, "waves": waves})
+        )
+    for fraction in (0.5, 0.6, 0.7):
+        config = GPUConfig.shrunk(fraction)
+        for name in names[: min(4, len(names))]:
+            workload = get_workload(name, scale=scale)
+            specs.append(("baseline", workload, {"waves": waves}))
+            specs.append(
+                ("virtualized", workload,
+                 {"config": config, "waves": waves})
+            )
+    return specs
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

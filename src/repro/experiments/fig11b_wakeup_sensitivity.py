@@ -20,6 +20,32 @@ WAKEUP_LATENCIES = (1, 3, 10)
 DEFAULT_WORKLOADS = ("matrixmul", "mum", "reduction", "hotspot")
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=DEFAULT_WORKLOADS,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    specs = []
+    for name in workloads:
+        workload = get_workload(name, scale=scale)
+        specs.append(
+            ("virtualized", workload,
+             {"config": GPUConfig.renamed(gating_enabled=False),
+              "waves": waves})
+        )
+        for latency in WAKEUP_LATENCIES:
+            config = GPUConfig.renamed(
+                gating_enabled=True, wakeup_latency_cycles=latency
+            )
+            specs.append(
+                ("virtualized", workload,
+                 {"config": config, "waves": waves})
+            )
+    return specs
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

@@ -36,6 +36,27 @@ def _config(fraction: float, gating: bool) -> GPUConfig:
     return GPUConfig.shrunk(fraction, gating_enabled=gating)
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    names = workloads or all_workload_names()
+    specs = []
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        specs.append(("baseline", workload, {"waves": waves}))
+        for _, opts in CONFIGS:
+            config = _config(opts["fraction"], opts["gating"])
+            specs.append(
+                ("virtualized", workload,
+                 {"config": config, "waves": waves})
+            )
+    return specs
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

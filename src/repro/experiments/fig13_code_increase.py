@@ -21,6 +21,23 @@ EXPERIMENT = "fig13"
 CACHE_ENTRIES = (0, 1, 2, 5, 10)
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    names = workloads or all_workload_names()
+    return [
+        ("virtualized", get_workload(name, scale=scale),
+         {"config": GPUConfig.renamed(release_flag_cache_entries=entries),
+          "waves": waves})
+        for name in names
+        for entries in CACHE_ENTRIES
+    ]
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

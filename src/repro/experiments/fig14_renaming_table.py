@@ -22,6 +22,42 @@ EXPERIMENT = "fig14"
 UNCONSTRAINED_BYTES = 48 * 63 * 10 // 8 + 8
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner).
+
+    Whether the unconstrained-table rerun happens depends on the capped
+    compile's exemption count; compilation is cheap and itself cached,
+    so the planner compiles here to predict the conditional spec.
+    """
+    from repro.cache import cached_compile_kernel
+
+    names = workloads or all_workload_names()
+    capped_config = GPUConfig.renamed()
+    specs = []
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        specs.append(
+            ("virtualized", workload,
+             {"config": capped_config, "waves": waves})
+        )
+        compiled = cached_compile_kernel(
+            workload.kernel, workload.launch, capped_config
+        )
+        if compiled.selection.num_exempt:
+            specs.append(
+                ("virtualized", workload,
+                 {"config": GPUConfig.renamed(
+                     renaming_table_bytes=UNCONSTRAINED_BYTES),
+                  "waves": waves})
+            )
+    return specs
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

@@ -26,6 +26,28 @@ from repro.workloads.suite import all_workload_names, get_workload
 EXPERIMENT = "fig15"
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=None,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    names = workloads or all_workload_names()
+    gated = GPUConfig.renamed(gating_enabled=True)
+    specs = []
+    for name in names:
+        workload = get_workload(name, scale=scale)
+        specs.append(("baseline", workload, {"waves": waves}))
+        specs.append(
+            ("virtualized", workload, {"config": gated, "waves": waves})
+        )
+        specs.append(
+            ("hardware_only", workload, {"config": gated, "waves": waves})
+        )
+    return specs
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

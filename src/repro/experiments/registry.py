@@ -51,6 +51,9 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
     module.EXPERIMENT: module.run for module in _MODULES
 }
 
+#: experiment id -> module (for optional attributes such as ``flows``).
+MODULES = {module.EXPERIMENT: module for module in _MODULES}
+
 
 def get_experiment(name: str) -> Callable[..., ExperimentResult]:
     key = name.lower()
@@ -58,3 +61,18 @@ def get_experiment(name: str) -> Callable[..., ExperimentResult]:
         known = ", ".join(EXPERIMENTS)
         raise ConfigError(f"unknown experiment '{name}'; known: {known}")
     return EXPERIMENTS[key]
+
+
+def get_flows(name: str) -> Callable[..., list] | None:
+    """The experiment's ``flows(**options)`` declaration, if it has one.
+
+    Experiments that run simulations declare the ``(flow, workload,
+    kwargs)`` specs their ``run`` will request so the sweep planner
+    (:mod:`repro.experiments.planner`) can dedupe and pre-execute them;
+    analytic experiments (tables, power models) have none.
+    """
+    key = name.lower()
+    if key not in MODULES:
+        known = ", ".join(MODULES)
+        raise ConfigError(f"unknown experiment '{name}'; known: {known}")
+    return getattr(MODULES[key], "flows", None)

@@ -31,6 +31,36 @@ DEFAULT_WORKLOADS = ("matrixmul", "blackscholes", "reduction", "hotspot")
 RFC_ENTRIES = 6
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=DEFAULT_WORKLOADS,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    specs = []
+    for name in workloads:
+        workload = get_workload(name, scale=scale)
+        specs.append(("baseline", workload, {"waves": waves}))
+        specs.append(
+            ("baseline", workload,
+             {"config": GPUConfig.baseline(
+                 rfc_entries_per_warp=RFC_ENTRIES),
+              "waves": waves})
+        )
+        specs.append(
+            ("virtualized", workload,
+             {"config": GPUConfig.renamed(gating_enabled=True),
+              "waves": waves})
+        )
+        specs.append(
+            ("virtualized", workload,
+             {"config": GPUConfig.shrunk(0.5, gating_enabled=True),
+              "waves": waves})
+        )
+    return specs
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

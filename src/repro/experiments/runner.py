@@ -9,22 +9,37 @@ Usage::
 
 ``--quick`` shortens workload loops and simulates a single CTA wave,
 for smoke-testing the harness; published comparisons should use the
-default settings. ``--jobs N`` regenerates independent experiments
-across N worker processes (``--jobs 0`` means one per CPU); output is
-printed in request order either way. ``--profile`` wraps the (serial)
-run in :mod:`cProfile`, prints the top 20 functions by cumulative time
-and saves ``profile.pstats`` for ``pstats``/``snakeviz``-style tools.
+default settings. ``--jobs N`` fans the deduplicated simulation plan
+out across N worker processes (``--jobs 0`` means one per CPU); output
+is printed in request order either way. ``--profile`` wraps the
+(serial) run in :mod:`cProfile`, prints the top 20 functions by
+cumulative time and saves ``profile.pstats`` for ``pstats``/
+``snakeviz``-style tools.
+
+Results are memoized in a content-addressed cache (on disk at
+``.repro-cache/`` by default; see :mod:`repro.cache`): a rerun with
+unchanged inputs replays from the cache. ``--cache-dir DIR`` relocates
+it, ``--no-cache`` disables it (also restoring the legacy
+one-process-per-experiment ``--jobs`` behavior), and the
+``REPRO_RESULT_CACHE`` environment variable does both without CLI
+flags. When the cache is enabled, experiments first *declare* their
+simulation flows to the sweep planner, which runs each unique
+simulation exactly once per invocation regardless of how many figures
+share it.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import re
 import sys
 import time
 
+from repro.cache import cache_env_value, configure_cache, get_cache, reset_cache
 from repro.errors import ConfigError
+from repro.experiments.planner import collect_plan, execute_plan
 from repro.experiments.registry import EXPERIMENTS, get_experiment
 from repro.parallel import (
     ExperimentJob,
@@ -33,6 +48,10 @@ from repro.parallel import (
     resolve_jobs,
     run_experiment_job,
 )
+
+#: Default on-disk cache location when neither ``--cache-dir`` nor
+#: ``REPRO_RESULT_CACHE`` says otherwise.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _slug(text: str) -> str:
@@ -50,6 +69,18 @@ def _export_csv(result, directory: pathlib.Path) -> list[pathlib.Path]:
         path.write_text(table.to_csv())
         written.append(path)
     return written
+
+
+def _configure_cache_from_args(args):
+    """Install the cache the CLI flags ask for; returns it."""
+    if args.no_cache:
+        return configure_cache(enabled=False)
+    if args.cache_dir is not None:
+        return configure_cache(directory=args.cache_dir)
+    if "REPRO_RESULT_CACHE" in os.environ:
+        reset_cache()
+        return get_cache()
+    return configure_cache(directory=DEFAULT_CACHE_DIR)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -83,8 +114,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=1,
-        help="worker processes for independent experiments "
+        help="worker processes for the deduplicated simulation plan "
              "(0 = one per CPU; default 1, fully serial)",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="result-cache directory (default: $REPRO_RESULT_CACHE or "
+             f"{DEFAULT_CACHE_DIR})",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache; every simulation reruns, and "
+             "--jobs falls back to one worker per experiment",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -115,6 +156,8 @@ def main(argv: list[str] | None = None) -> int:
         except ConfigError as exc:
             parser.error(str(exc))
 
+    cache = _configure_cache_from_args(args)
+
     def report(outcome: ExperimentOutcome) -> None:
         result = outcome.result
         print(result.render())
@@ -131,30 +174,63 @@ def main(argv: list[str] | None = None) -> int:
         print(f"({outcome.elapsed:.1f}s)")
         print()
 
-    specs = [ExperimentJob(name, options) for name in names]
-    if args.profile:
-        import cProfile
-        import pstats
+    def run_serial(specs: list[ExperimentJob]) -> None:
+        for spec in specs:
+            report(run_experiment_job(spec))
 
-        profiler = cProfile.Profile()
-        profiler.enable()
-        for spec in specs:
-            report(run_experiment_job(spec))
-        profiler.disable()
-        out = pathlib.Path("profile.pstats")
-        profiler.dump_stats(out)
-        stats = pstats.Stats(profiler, stream=sys.stdout)
-        stats.sort_stats("cumulative").print_stats(20)
-        print(f"profile: {out}")
-    elif jobs > 1 and len(specs) > 1:
-        started = time.time()
-        for outcome in parallel_map(run_experiment_job, specs, jobs):
-            report(outcome)
-        print(f"total: {time.time() - started:.1f}s "
-              f"({jobs} worker processes)")
-    else:
-        for spec in specs:
-            report(run_experiment_job(spec))
+    # Worker processes rebuild their default cache from the
+    # environment, so export this invocation's cache configuration
+    # around any pool fan-out.
+    saved_env = os.environ.get("REPRO_RESULT_CACHE")
+    os.environ["REPRO_RESULT_CACHE"] = cache_env_value(cache)
+    started = time.time()
+    pool_note = ""
+    try:
+        specs = [ExperimentJob(name, options) for name in names]
+        if args.profile:
+            import cProfile
+            import pstats
+
+            profiler = cProfile.Profile()
+            profiler.enable()
+            run_serial(specs)
+            profiler.disable()
+            out = pathlib.Path("profile.pstats")
+            profiler.dump_stats(out)
+            stats = pstats.Stats(profiler, stream=sys.stdout)
+            stats.sort_stats("cumulative").print_stats(20)
+            print(f"profile: {out}")
+        else:
+            plan = collect_plan(names, options) if cache.enabled else None
+            if plan is not None and plan.unique:
+                # Planned path: dedupe the union of declared flows,
+                # run each unique simulation exactly once (through
+                # the pool when --jobs asks), then replay the
+                # experiments against the warm cache.
+                print(plan.describe())
+                execute_plan(plan, jobs=jobs)
+                print(f"plan executed in {plan.elapsed:.1f}s "
+                      f"({jobs} worker process"
+                      f"{'es' if jobs != 1 else ''})")
+                print()
+                run_serial(specs)
+            elif jobs > 1 and len(specs) > 1:
+                # No cache or nothing planned (analytic experiments):
+                # one worker per experiment, as before the planner.
+                pool_note = f" ({jobs} worker processes)"
+                for outcome in parallel_map(
+                    run_experiment_job, specs, jobs
+                ):
+                    report(outcome)
+            else:
+                run_serial(specs)
+    finally:
+        if saved_env is None:
+            os.environ.pop("REPRO_RESULT_CACHE", None)
+        else:
+            os.environ["REPRO_RESULT_CACHE"] = saved_env
+    print(f"total: {time.time() - started:.1f}s{pool_note}")
+    print(cache.describe())
     return 0
 
 

@@ -29,6 +29,22 @@ POLICIES = ("loose_rr", "two_level", "gto")
 DEFAULT_WORKLOADS = ("matrixmul", "blackscholes", "hotspot", "lib")
 
 
+def flows(
+    scale: float = 1.0,
+    waves: int | None = 2,
+    workloads=DEFAULT_WORKLOADS,
+    **_ignored,
+) -> list[tuple]:
+    """The flow specs :func:`run` will request (for the sweep planner)."""
+    return [
+        ("virtualized", get_workload(name, scale=scale),
+         {"config": GPUConfig.renamed(scheduler_policy=policy),
+          "waves": waves})
+        for name in workloads
+        for policy in POLICIES
+    ]
+
+
 def run(
     scale: float = 1.0,
     waves: int | None = 2,

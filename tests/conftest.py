@@ -5,8 +5,17 @@ from __future__ import annotations
 import pytest
 
 from repro.arch import GPUConfig
+from repro.cache import reset_cache
 from repro.isa import assemble
 from repro.launch import LaunchConfig
+
+
+@pytest.fixture(autouse=True)
+def _fresh_result_cache():
+    """Isolate tests from each other's (and the env's) result cache."""
+    reset_cache()
+    yield
+    reset_cache()
 
 #: Straight-line kernel: no branches, four registers.
 STRAIGHT_SRC = """

@@ -8,6 +8,7 @@ import pytest
 
 from repro.analysis.bench import (
     DEFAULT_WORKLOADS,
+    GATE_PIPELINE_FLOOR,
     GATE_SPEEDUP_FLOOR,
     MODES,
     SCHEMA,
@@ -16,6 +17,7 @@ from repro.analysis.bench import (
     gate_bench,
     main,
     run_benchmark,
+    run_pipeline_bench,
     validate_bench,
 )
 
@@ -134,6 +136,67 @@ def _synthetic_result(
     }
 
 
+def _synthetic_pipeline(speedup=8.0, identical=True):
+    return {
+        "experiments": ["fig10"], "jobs": 1,
+        "declared_flows": 10, "unique_flows": 6,
+        "dedup_ratio": 10 / 6,
+        "cold_seconds": speedup, "warm_seconds": 1.0,
+        "speedup": speedup, "identical": identical,
+    }
+
+
+class TestRepeat:
+    def test_best_of_n_keeps_single_run_counters(self):
+        once = run_benchmark(
+            workloads=("vectoradd",), shrink_workloads=("vectoradd",),
+            quick=True, repeats=1,
+        )
+        twice = run_benchmark(
+            workloads=("vectoradd",), shrink_workloads=("vectoradd",),
+            quick=True, repeats=2,
+        )
+        for mode in MODES:
+            # Deterministic counters: best-of-2 must not double them.
+            assert (
+                twice["modes"][mode]["cycles"]
+                == once["modes"][mode]["cycles"]
+            )
+            assert twice["modes"][mode]["runs"] == 2
+
+    def test_cli_repeat_flag(self, tmp_path):
+        out = tmp_path / "bench.json"
+        assert main(TINY + ["--repeat", "2", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["modes"]["baseline"]["runs"] == 2
+        assert validate_bench(data) == []
+
+
+class TestPipelineBench:
+    def test_cold_warm_round_trip(self):
+        record = run_pipeline_bench(
+            experiments=("schedulers",), quick=True
+        )
+        assert record["identical"] is True
+        assert record["unique_flows"] > 0
+        assert record["declared_flows"] >= record["unique_flows"]
+        assert record["cold_seconds"] > record["warm_seconds"] > 0
+        data = _tiny_benchmark()
+        data["pipeline"] = record
+        assert validate_bench(data) == []
+
+    def test_validate_accepts_missing_pipeline(self):
+        assert validate_bench(_tiny_benchmark()) == []
+
+    def test_validate_rejects_corrupt_pipeline(self):
+        data = _tiny_benchmark()
+        data["pipeline"] = _synthetic_pipeline()
+        data["pipeline"]["speedup"] = "fast"
+        assert any(
+            "pipeline.speedup" in e for e in validate_bench(data)
+        )
+
+
 class TestCompareAndGate:
     def test_compare_reports_normalized_deltas(self):
         old = _synthetic_result()
@@ -169,6 +232,42 @@ class TestCompareAndGate:
         new = _synthetic_result(speedup=GATE_SPEEDUP_FLOOR - 0.2)
         errors = gate_bench(old, new, pct=0.30)
         assert any("speedup" in e for e in errors)
+
+    def test_gate_ignores_pipeline_when_reference_lacks_it(self):
+        old = _synthetic_result()
+        new = _synthetic_result()
+        new["pipeline"] = _synthetic_pipeline(speedup=1.0)
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_gate_requires_pipeline_when_reference_has_it(self):
+        old = _synthetic_result()
+        old["pipeline"] = _synthetic_pipeline()
+        new = _synthetic_result()
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("--pipeline" in e for e in errors)
+
+    def test_gate_fails_slow_or_unequal_pipeline(self):
+        old = _synthetic_result()
+        old["pipeline"] = _synthetic_pipeline()
+        slow = _synthetic_result()
+        slow["pipeline"] = _synthetic_pipeline(
+            speedup=GATE_PIPELINE_FLOOR - 0.5
+        )
+        assert any(
+            "pipeline" in e for e in gate_bench(old, slow, pct=0.30)
+        )
+        unequal = _synthetic_result()
+        unequal["pipeline"] = _synthetic_pipeline(identical=False)
+        assert any(
+            "identical" in e for e in gate_bench(old, unequal, pct=0.30)
+        )
+
+    def test_gate_passes_healthy_pipeline(self):
+        old = _synthetic_result()
+        old["pipeline"] = _synthetic_pipeline()
+        new = _synthetic_result()
+        new["pipeline"] = _synthetic_pipeline(speedup=6.0)
+        assert gate_bench(old, new, pct=0.30) == []
 
 
 class TestCli:

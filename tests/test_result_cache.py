@@ -1,0 +1,346 @@
+"""Content-addressed result cache: fingerprints, store, memoization.
+
+The load-bearing guarantee is *bit identity*: a warm cache hit must be
+indistinguishable — every SimStats field, every payload byte — from
+re-running the simulation, under every engine-flag combination. The
+grid tests below pin that across ``REPRO_DECODE_CACHE`` x
+``REPRO_CYCLE_SKIP``, serially and with ``sim_sms``/``jobs`` fan-out,
+and the invalidation tests pin the other direction: any input that can
+change the answer must change the key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import pickle
+
+import pytest
+
+# The package re-exports the fingerprint() function under the same
+# name as the submodule, so fetch the module object explicitly.
+fingerprint_mod = importlib.import_module("repro.cache.fingerprint")
+from repro.arch import GPUConfig
+from repro.cache import (
+    MISS,
+    ResultCache,
+    cached_compile_kernel,
+    cached_simulate,
+    compile_key,
+    fingerprint,
+    simulate_key,
+)
+from repro.isa import assemble
+from repro.sim.gpu import simulate
+from repro.sim.stats import SimStats
+from repro.workloads.suite import get_workload
+
+ENGINE_GRID = [
+    ("1", "1"), ("1", "0"), ("0", "1"), ("0", "0"),
+]
+
+
+def _sim_key(kernel, launch, config, **overrides):
+    kwargs = dict(
+        mode="baseline", threshold=0, sim_sms=1,
+        max_ctas_per_sm_sim=None, sample_interval=0,
+        trace_warp_slots=(), spill_enabled=True,
+        max_cycles=50_000_000, cycle_skip=None,
+    )
+    kwargs.update(overrides)
+    return simulate_key(kernel, launch, config, **kwargs)
+
+
+class TestFingerprint:
+    def test_stable_and_sensitive(self, straight_kernel, small_launch):
+        config = GPUConfig.baseline()
+        key = _sim_key(straight_kernel, small_launch, config)
+        assert key == _sim_key(straight_kernel, small_launch, config)
+        assert key != _sim_key(
+            straight_kernel, small_launch, config, mode="redefine"
+        )
+        assert key != _sim_key(
+            straight_kernel, small_launch, GPUConfig.renamed()
+        )
+
+    def test_kernel_name_is_not_content(self, small_launch):
+        src = """
+.kernel {name}
+    S2R r0, SR_TID
+    MOVI r1, 0x10
+    IADD r2, r0, r1
+    STG [r2], r0
+    EXIT
+"""
+        a = assemble(src.format(name="alpha"))
+        b = assemble(src.format(name="beta"))
+        config = GPUConfig.baseline()
+        assert _sim_key(a, small_launch, config) == _sim_key(
+            b, small_launch, config
+        )
+
+    def test_kernel_edit_changes_key(self, small_launch):
+        src = """
+.kernel k
+    S2R r0, SR_TID
+    MOVI r1, {imm}
+    IADD r2, r0, r1
+    STG [r2], r0
+    EXIT
+"""
+        a = assemble(src.format(imm="0x10"))
+        b = assemble(src.format(imm="0x20"))
+        config = GPUConfig.baseline()
+        assert _sim_key(a, small_launch, config) != _sim_key(
+            b, small_launch, config
+        )
+
+    def test_engine_flags_split_keys(
+        self, straight_kernel, small_launch, monkeypatch
+    ):
+        config = GPUConfig.baseline()
+        keys = set()
+        for decode, skip in ENGINE_GRID:
+            monkeypatch.setenv("REPRO_DECODE_CACHE", decode)
+            monkeypatch.setenv("REPRO_CYCLE_SKIP", skip)
+            keys.add(_sim_key(straight_kernel, small_launch, config))
+        assert len(keys) == 4
+        # An explicit cycle_skip kwarg wins over the environment.
+        monkeypatch.setenv("REPRO_CYCLE_SKIP", "0")
+        assert _sim_key(
+            straight_kernel, small_launch, config, cycle_skip=True
+        ) != _sim_key(straight_kernel, small_launch, config)
+
+    def test_schema_version_bump_invalidates(
+        self, straight_kernel, small_launch, monkeypatch
+    ):
+        config = GPUConfig.renamed()
+        sim_before = _sim_key(straight_kernel, small_launch, config)
+        compile_before = compile_key(
+            straight_kernel, small_launch, config,
+            insert_flags=True, edge_releases=True,
+        )
+        monkeypatch.setattr(
+            fingerprint_mod, "CACHE_SCHEMA_VERSION",
+            fingerprint_mod.CACHE_SCHEMA_VERSION + 1,
+        )
+        assert _sim_key(
+            straight_kernel, small_launch, config
+        ) != sim_before
+        assert compile_key(
+            straight_kernel, small_launch, config,
+            insert_flags=True, edge_releases=True,
+        ) != compile_before
+
+    def test_jobs_is_not_part_of_the_key(self):
+        import inspect
+
+        # simulate()'s fan-out degree must not split the cache; guard
+        # against it ever being added to the key signature.
+        params = inspect.signature(simulate_key).parameters
+        assert "jobs" not in params
+
+    def test_rejects_unfingerprintable_values(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            fingerprint(Opaque())
+
+
+class TestStore:
+    def test_memory_round_trip_never_aliases(self):
+        cache = ResultCache()
+        value = {"nested": [1, 2, {"x": (3, 4)}]}
+        cache.put("k", value)
+        first = cache.get("k")
+        second = cache.get("k")
+        assert first == value and second == value
+        assert first is not value and first is not second
+
+    def test_miss_sentinel_distinct_from_none(self):
+        cache = ResultCache()
+        assert cache.get("absent") is MISS
+        cache.put("k", None)
+        assert cache.get("k") is None
+
+    def test_disk_round_trip_across_instances(self, tmp_path):
+        writer = ResultCache(directory=tmp_path)
+        writer.put("k", SimStats(cycles=42))
+        reader = ResultCache(directory=tmp_path)
+        hit = reader.get("k")
+        assert hit == SimStats(cycles=42)
+        assert reader.counters.hits == 1
+        assert reader.counters.bytes_read > 0
+
+    def test_disabled_cache_stores_nothing(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, enabled=False)
+        cache.put("k", 1)
+        assert cache.get("k") is MISS
+        assert len(cache) == 0
+        assert not any(tmp_path.iterdir())
+        assert "disabled" in cache.describe()
+
+    def test_exports_and_absorb(self, tmp_path):
+        worker = ResultCache()
+        worker.put("a", 1)
+        worker.put("b", 2)
+        exports = worker.take_exports()
+        assert [key for key, _ in exports] == ["a", "b"]
+        assert worker.take_exports() == []
+
+        parent = ResultCache(directory=tmp_path)
+        parent.put("a", 99)  # already known: must not be overwritten
+        assert parent.absorb(exports) == 1
+        assert parent.get("a") == 99
+        assert parent.get("b") == 2
+        # Absorbed entries are persisted like native stores.
+        assert ResultCache(directory=tmp_path).get("b") == 2
+
+    def test_counters_in_describe(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        cache.get("k")
+        cache.get("missing")
+        assert "1 hits, 1 misses, 1 stores" in cache.describe()
+
+
+class TestCachedSimulate:
+    @pytest.mark.parametrize("decode,skip", ENGINE_GRID)
+    def test_warm_hit_is_bit_identical(
+        self, decode, skip, tmp_path, monkeypatch,
+        loop_kernel, small_launch,
+    ):
+        monkeypatch.setenv("REPRO_DECODE_CACHE", decode)
+        monkeypatch.setenv("REPRO_CYCLE_SKIP", skip)
+        config = GPUConfig.renamed()
+
+        cold_cache = ResultCache(directory=tmp_path)
+        cold = cached_simulate(
+            loop_kernel, small_launch, config, mode="redefine",
+            cache=cold_cache,
+        )
+        assert cold_cache.counters.misses == 1
+        # A second process (fresh instance, same directory) must see
+        # every SimStats field identical, including the engine
+        # diagnostics that differ *between* grid points.
+        warm_cache = ResultCache(directory=tmp_path)
+        warm = cached_simulate(
+            loop_kernel, small_launch, config, mode="redefine",
+            cache=warm_cache,
+        )
+        assert warm_cache.counters.hits == 1
+        assert warm_cache.counters.misses == 0
+        for field in dataclasses.fields(SimStats):
+            assert getattr(warm.stats, field.name) == getattr(
+                cold.stats, field.name
+            ), field.name
+        assert pickle.dumps(warm) == pickle.dumps(cold)
+
+    def test_matches_raw_simulate(self, barrier_kernel, small_launch):
+        config = GPUConfig.baseline()
+        raw = simulate(barrier_kernel.clone(), small_launch, config)
+        cached = cached_simulate(
+            barrier_kernel, small_launch, config, cache=ResultCache()
+        )
+        assert cached.stats == raw.stats
+
+    def test_multi_sm_parallel_hits_same_entry(
+        self, loop_kernel, small_launch
+    ):
+        cache = ResultCache()
+        serial = cached_simulate(
+            loop_kernel, small_launch, GPUConfig.baseline(),
+            sim_sms=2, jobs=1, cache=cache,
+        )
+        fanned = cached_simulate(
+            loop_kernel, small_launch, GPUConfig.baseline(),
+            sim_sms=2, jobs=2, cache=cache,
+        )
+        # jobs is not in the key: the second call is a pure hit.
+        assert cache.counters.misses == 1
+        assert cache.counters.hits == 1
+        assert fanned.stats == serial.stats
+
+    def test_config_change_misses(self, straight_kernel, small_launch):
+        cache = ResultCache()
+        cached_simulate(
+            straight_kernel, small_launch, GPUConfig.baseline(),
+            cache=cache,
+        )
+        cached_simulate(
+            straight_kernel, small_launch,
+            GPUConfig.baseline().replace(rfc_entries_per_warp=6),
+            cache=cache,
+        )
+        assert cache.counters.misses == 2
+
+    def test_engine_flag_change_misses(
+        self, straight_kernel, small_launch, monkeypatch
+    ):
+        cache = ResultCache()
+        monkeypatch.setenv("REPRO_CYCLE_SKIP", "1")
+        cached_simulate(
+            straight_kernel, small_launch, GPUConfig.baseline(),
+            cache=cache,
+        )
+        monkeypatch.setenv("REPRO_CYCLE_SKIP", "0")
+        cached_simulate(
+            straight_kernel, small_launch, GPUConfig.baseline(),
+            cache=cache,
+        )
+        assert cache.counters.misses == 2
+
+    def test_disabled_cache_is_pure_passthrough(
+        self, straight_kernel, small_launch
+    ):
+        cache = ResultCache(enabled=False)
+        a = cached_simulate(
+            straight_kernel, small_launch, cache=cache
+        )
+        b = cached_simulate(
+            straight_kernel, small_launch, cache=cache
+        )
+        assert a is not b
+        assert a.stats == b.stats
+        assert len(cache) == 0
+
+
+class TestCachedCompile:
+    def test_round_trip_and_invalidation(self, tmp_path):
+        workload = get_workload("vectoradd", scale=0.5)
+        config = GPUConfig.renamed()
+        cold_cache = ResultCache(directory=tmp_path)
+        cold = cached_compile_kernel(
+            workload.kernel, workload.launch, config, cache=cold_cache
+        )
+        warm_cache = ResultCache(directory=tmp_path)
+        warm = cached_compile_kernel(
+            workload.kernel, workload.launch, config, cache=warm_cache
+        )
+        assert warm_cache.counters.hits == 1
+        assert pickle.dumps(warm) == pickle.dumps(cold)
+        # Different compile options are different entries.
+        cached_compile_kernel(
+            workload.kernel, workload.launch, config,
+            edge_releases=False, cache=warm_cache,
+        )
+        assert warm_cache.counters.misses == 1
+
+    def test_compiled_kernel_simulates_identically(self):
+        workload = get_workload("vectoradd", scale=0.5)
+        config = GPUConfig.renamed()
+        direct = None
+        for _ in range(2):
+            cache = ResultCache()
+            compiled = cached_compile_kernel(
+                workload.kernel, workload.launch, config, cache=cache
+            )
+            result = cached_simulate(
+                compiled.kernel, workload.launch, config, mode="flags",
+                threshold=compiled.renaming_threshold, cache=cache,
+            )
+            if direct is None:
+                direct = result
+            else:
+                assert result.stats == direct.stats
