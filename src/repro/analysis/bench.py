@@ -15,6 +15,10 @@ the cycle-skipping engine (the default) and once on the strict
 per-cycle path (``cycle_skip=False``, the engine PR 2 shipped). Both
 throughputs are recorded, so ``speedup`` — the machine-independent
 ratio between them — tracks whether the skip engine keeps paying off.
+The ``flags`` mode is likewise timed twice: once under the
+struct-of-arrays lane engine (``REPRO_VECTOR_LANES=1``, the default)
+and once under the dict-layout reference (``REPRO_VECTOR_LANES=0``);
+``vector_speedup`` is the within-run ratio between them.
 
 Usage::
 
@@ -50,6 +54,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import tempfile
@@ -66,7 +71,10 @@ from repro.workloads.suite import Workload, get_workload
 #: ``*_noskip`` / ``speedup`` fields. v3 switches ``--repeat`` to
 #: best-of-N wall timing and adds the optional ``pipeline`` section
 #: (cold/warm result-cache wall clock + sweep-planner dedup ratio).
-SCHEMA = "repro-bench-hotpath/3"
+#: v4 times the flags mode under both register-state engines
+#: (``REPRO_VECTOR_LANES``) and adds its ``*_scalar`` /
+#: ``vector_speedup`` fields.
+SCHEMA = "repro-bench-hotpath/4"
 
 #: The fixed sample: small/medium kernels spanning ALU-heavy
 #: (matrixmul), divergent (blackscholes) and barrier-heavy (reduction)
@@ -93,6 +101,15 @@ MODES = ("baseline", "flags", "redefine", "shrink")
 #: setup dilutes the full-run ratio.
 GATE_SPEEDUP_FLOOR = 1.5
 
+#: Minimum flags-mode vector-engine speedup (struct-of-arrays lane
+#: engine vs. the dict-layout reference, measured within the same run)
+#: the gate accepts. This is a *non-regression* floor, not the
+#: engine's typical win: it fails only when the vector engine stops
+#: paying for itself (speedup ~1.0 would mean the fast path silently
+#: degenerated into the reference path), while staying green across
+#: noisy shared runners.
+GATE_VECTOR_SPEEDUP_FLOOR = 1.05
+
 #: Experiment sample for the pipeline benchmark: fig10 and fig14 share
 #: their all-workload virtualized runs (high dedup), fig11b and the
 #: scheduler study add distinct-config sweeps (no dedup), so the ratio
@@ -109,6 +126,27 @@ GATE_PIPELINE_FLOOR = 3.0
 
 def _wave_cap(workload: Workload, waves: int) -> int:
     return waves * workload.table1.conc_ctas_per_sm
+
+
+def _time_scalar_engine(run, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``run`` with the dict-layout
+    register engine (``REPRO_VECTOR_LANES=0``) forced for the timed
+    region only. Cores resolve the flag at construction, inside the
+    ``simulate`` call, so an env override around the call is exact."""
+    prior = os.environ.get("REPRO_VECTOR_LANES")
+    os.environ["REPRO_VECTOR_LANES"] = "0"
+    try:
+        wall = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            run()
+            wall = min(wall, time.perf_counter() - started)
+        return wall
+    finally:
+        if prior is None:
+            del os.environ["REPRO_VECTOR_LANES"]
+        else:
+            os.environ["REPRO_VECTOR_LANES"] = prior
 
 
 def _bench_mode(
@@ -194,6 +232,18 @@ def _bench_mode(
             cycles / wall_noskip if wall_noskip > 0 else 0.0
         )
         record["speedup"] = wall_noskip / wall if wall > 0 else 0.0
+    if mode == "flags":
+        # The flags flow is where the struct-of-arrays lane engine
+        # binds its inlined issue/tick paths; time the dict-layout
+        # reference too so the ratio is measured within one run.
+        wall_scalar = _time_scalar_engine(run, repeats)
+        record["wall_seconds_scalar"] = wall_scalar
+        record["cycles_per_second_scalar"] = (
+            cycles / wall_scalar if wall_scalar > 0 else 0.0
+        )
+        record["vector_speedup"] = (
+            wall_scalar / wall if wall > 0 else 0.0
+        )
     return record
 
 
@@ -219,6 +269,7 @@ def run_benchmark(
     for mode in MODES:
         wall = 0.0
         wall_noskip = 0.0
+        wall_scalar = 0.0
         cycles = 0
         instructions = 0
         ticks = 0
@@ -229,6 +280,7 @@ def run_benchmark(
             per_workload[workload.name] = record
             wall += record["wall_seconds"]
             wall_noskip += record.get("wall_seconds_noskip", 0.0)
+            wall_scalar += record.get("wall_seconds_scalar", 0.0)
             cycles += record["cycles"]
             instructions += record["instructions"]
             ticks += record["ticks_executed"]
@@ -250,6 +302,14 @@ def run_benchmark(
                 cycles / wall_noskip if wall_noskip > 0 else 0.0
             )
             summary["speedup"] = wall_noskip / wall if wall > 0 else 0.0
+        if mode == "flags":
+            summary["wall_seconds_scalar"] = wall_scalar
+            summary["cycles_per_second_scalar"] = (
+                cycles / wall_scalar if wall_scalar > 0 else 0.0
+            )
+            summary["vector_speedup"] = (
+                wall_scalar / wall if wall > 0 else 0.0
+            )
         modes[mode] = summary
     total_wall = sum(m["wall_seconds"] for m in modes.values())
     return {
@@ -347,6 +407,14 @@ _REQUIRED_SHRINK_FIELDS = (
     ("speedup", (int, float)),
 )
 
+#: Extra fields the flags mode must carry (v4: both register-state
+#: engines are timed).
+_REQUIRED_FLAGS_FIELDS = (
+    ("wall_seconds_scalar", (int, float)),
+    ("cycles_per_second_scalar", (int, float)),
+    ("vector_speedup", (int, float)),
+)
+
 #: Fields the optional ``pipeline`` section must carry when present.
 _REQUIRED_PIPELINE_FIELDS = (
     ("experiments", list),
@@ -382,6 +450,8 @@ def validate_bench(data: object) -> list[str]:
         required = _REQUIRED_MODE_FIELDS
         if mode == "shrink":
             required = required + _REQUIRED_SHRINK_FIELDS
+        if mode == "flags":
+            required = required + _REQUIRED_FLAGS_FIELDS
         for field, types in required:
             value = record.get(field)
             if not isinstance(value, types) or isinstance(value, bool):
@@ -470,6 +540,13 @@ def compare_bench(old: dict, new: dict) -> str:
             f"shrink speedup (skip on vs per-cycle): "
             f"old {fmt(old_speed)}  new {fmt(new_speed)}"
         )
+    old_vec = old.get("modes", {}).get("flags", {}).get("vector_speedup")
+    new_vec = new.get("modes", {}).get("flags", {}).get("vector_speedup")
+    if old_vec is not None or new_vec is not None:
+        lines.append(
+            f"flags vector-engine speedup (SoA vs dict layout): "
+            f"old {fmt(old_vec)}  new {fmt(new_vec)}"
+        )
     old_pipe = (old.get("pipeline") or {}).get("speedup")
     new_pipe = (new.get("pipeline") or {}).get("speedup")
     if old_pipe is not None or new_pipe is not None:
@@ -526,6 +603,18 @@ def gate_bench(old: dict, new: dict, pct: float) -> list[str]:
             f"gate: shrink cycle-skip speedup {speedup:.2f}x below "
             f"floor {GATE_SPEEDUP_FLOOR:.1f}x"
         )
+    # The vector engine must not regress against its own in-run
+    # dict-layout reference (gated only once the reference file carries
+    # the v4 fields, so older files keep gating cleanly).
+    if "vector_speedup" in old.get("modes", {}).get("flags", {}):
+        vector = new.get("modes", {}).get("flags", {}).get("vector_speedup")
+        if vector is None:
+            errors.append("gate: new results lack flags vector_speedup")
+        elif vector < GATE_VECTOR_SPEEDUP_FLOOR:
+            errors.append(
+                f"gate: flags vector-engine speedup {vector:.2f}x below "
+                f"floor {GATE_VECTOR_SPEEDUP_FLOOR:.2f}x"
+            )
     # The pipeline section is gated only when the reference file has
     # one (older files predate it; plain --quick runs omit it).
     if old.get("pipeline") is not None:
@@ -573,6 +662,13 @@ def _report(data: dict) -> str:
         f"shrink per-cycle path: {shrink['wall_seconds_noskip']:.2f}s "
         f"({shrink['cycles_per_second_noskip']:,.1f} cycles/s) -> "
         f"cycle skipping speeds it up {shrink['speedup']:.2f}x"
+    )
+    flags = data["modes"]["flags"]
+    lines.append(
+        f"flags dict-layout engine: {flags['wall_seconds_scalar']:.2f}s "
+        f"({flags['cycles_per_second_scalar']:,.1f} cycles/s) -> "
+        f"vector lane engine speeds it up "
+        f"{flags['vector_speedup']:.2f}x"
     )
     lines.append(f"total wall: {data['total']['wall_seconds']:.2f}s")
     pipeline = data.get("pipeline")

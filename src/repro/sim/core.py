@@ -25,6 +25,8 @@ import heapq
 import itertools
 import os
 
+import numpy as np
+
 from repro.arch import GPUConfig
 from repro.compiler.banks import bank_of
 from repro.compiler.reconvergence import ensure_reconvergence
@@ -34,10 +36,17 @@ from repro.isa.opcodes import MemSpace, Opcode, Unit
 from repro.launch import LaunchConfig
 from repro.sim.decode import DecodeCache, DecodedInst, build_decode_cache
 from repro.sim.execute import (
+    ADDR_MASK,
+    EXEC_ALU,
+    EXEC_LOAD,
+    EXEC_SETP,
+    EXEC_STORE,
+    _bind_rows,
     array_to_mask,
     effective_mask,
     execute,
     execute_decoded,
+    execute_decoded_vector,
 )
 from repro.sim.memory import GlobalMemory, MemoryUnit, SharedMemory
 from repro.sim.regfile import PhysicalRegisterFile
@@ -45,7 +54,7 @@ from repro.sim.release_cache import ReleaseFlagCache
 from repro.sim.renaming import RenamingTable
 from repro.sim.scheduler import WarpScheduler
 from repro.sim.stats import SimStats
-from repro.sim.warp import Warp, WarpStatus
+from repro.sim.warp import VectorWarp, Warp, WarpStatus
 
 #: Consecutive stalled cycles with failed allocations before the
 #: spill corner case engages.
@@ -241,6 +250,45 @@ class SMCore:
                 )
             self._decode = self._decode_cache.entries
 
+        # Lane engine (see docs/INTERNALS.md, "Struct-of-arrays lane
+        # engine"): struct-of-arrays warps with in-place masked writes
+        # by default; ``REPRO_VECTOR_LANES=0`` selects the dict-backed
+        # reference layout with fresh ``np.where`` merges. Env-only,
+        # like ``REPRO_DECODE_CACHE`` — process-pool workers inherit
+        # the environment. Both engines produce bit-identical
+        # :class:`SimStats` per field.
+        env_vec = os.environ.get("REPRO_VECTOR_LANES", "1")
+        self.vector_lanes = env_vec.strip().lower() not in (
+            "0", "off", "false"
+        )
+        self._exec_decoded = (
+            execute_decoded_vector if self.vector_lanes else execute_decoded
+        )
+        # Pre-resolved issue entry point (instance attribute shadowing
+        # the method; cores are never pickled — workers rebuild them
+        # from CoreJob specs). The vector engine gets a deeply inlined
+        # issue/execute/retire frame for the tracer-less flags-mode +
+        # decode-cache combination — the configuration the lane-engine
+        # bench leg measures. Every other combination keeps the generic
+        # dispatch, whose execute stage already follows the selected
+        # lane engine via ``_exec_decoded``.
+        self._underprov = config.is_underprovisioned
+        self._bank_preserving = config.bank_preserving_renaming
+        if self._decode is None:
+            self._try_issue = self._try_issue_uncached
+        elif (
+            self.vector_lanes
+            and self.renaming is not None
+            and self.renaming.mode == "flags"
+            and self.renaming.tracer is None
+        ):
+            self._try_issue = self._try_issue_vector
+            if config.scheduler_policy != "gto":
+                # The round-robin candidates()/issued() pair inlines
+                # into the vector tick; greedy-then-oldest keeps the
+                # generic scheduler calls.
+                self.tick = self._tick_vector
+
     # ------------------------------------------------------------------ events
     def _push_event(self, cycle: int, kind: str, payload: tuple) -> None:
         heapq.heappush(self._events, (cycle, next(self._seq), kind, payload))
@@ -366,7 +414,14 @@ class SMCore:
             self._free_warp_slots.pop(0)
             active = min(self.config.warp_size, threads_left)
             threads_left -= active
-            warp = Warp(wslot, cta, index, self.config.warp_size, active)
+            if self.vector_lanes:
+                warp = VectorWarp(
+                    wslot, cta, index, self.config.warp_size, active,
+                    num_regs=self.regs_per_thread,
+                    num_preds=max(1, self.kernel.num_preds),
+                )
+            else:
+                warp = Warp(wslot, cta, index, self.config.warp_size, active)
             if self.rfc is not None:
                 self.rfc.attach_warp(wslot)
             cta.warps.append(warp)
@@ -695,7 +750,7 @@ class SMCore:
                         stats.stall_bank_conflict_cycles += extra
                         penalty += extra
 
-        taken = execute_decoded(d, warp, self.gmem)
+        taken = self._exec_decoded(d, warp, self.gmem)
         stats.instructions += 1
         warp.last_issue_cycle = now
 
@@ -790,6 +845,325 @@ class SMCore:
                 config.sfu_latency if d.is_sfu else config.alu_latency
             )
             self._push_event(now + latency + penalty, "wb", (warp, d.inst))
+
+    def _try_issue_vector(self, warp: Warp, now: int,
+                          forbid_alloc: bool = False) -> _Issue:
+        """Struct-of-arrays issue fast path (``REPRO_VECTOR_LANES=1``).
+
+        The vector engine's twin of ``_try_issue`` with the execute
+        stage (``execute_decoded_vector``), the retire stage
+        (``_retire_cached``) and the flags-mode fast paths of
+        ``RenamingTable.write`` / ``release`` unrolled into one frame.
+        Bound as the core's issue entry point only for tracer-less
+        flags-mode cores with a decode cache, so it may assume
+        ``renaming`` exists, ``mode == "flags"`` and ``rfc is None``.
+        Semantics are line-for-line those of the generic path; the
+        equivalence grids pin every :class:`SimStats` field against the
+        dict engine.
+        """
+        stack = warp.stack
+        if len(stack._stack) > 1:
+            stack.maybe_reconverge()
+        stats = self.stats
+        top = stack._stack[-1]
+
+        decode = self._decode
+        while True:
+            d = decode[top.pc]
+            if d.is_pir:
+                flag_cache = self.flag_cache
+                if flag_cache is not None and flag_cache.probe(d.pc):
+                    stats.pir_skipped += 1
+                    top.pc += 1
+                    continue
+                if flag_cache is not None:
+                    flag_cache.install(d.pc)
+                stats.pir_decoded += 1
+                top.pc += 1
+                warp.last_issue_cycle = now
+                return _Issue.ISSUED
+            break
+
+        renaming = self.renaming
+        slot = warp.slot
+
+        if d.is_pbr:
+            stats.pbr_decoded += 1
+            release = renaming.release
+            for reg in d.release_regs:
+                release(slot, reg, now)
+            top.pc += 1
+            warp.last_issue_cycle = now
+            return _Issue.ISSUED
+
+        pending = warp.pending_regs
+        if pending:
+            for reg in d.srcs:
+                if reg in pending:
+                    return _Issue.SCOREBOARD
+            if d.dst is not None and d.dst in pending:
+                return _Issue.SCOREBOARD
+        pending_preds = warp.pending_preds
+        if pending_preds:
+            if d.guard_preg is not None and d.guard_preg in pending_preds:
+                return _Issue.SCOREBOARD
+            if d.pdst is not None and d.pdst in pending_preds:
+                return _Issue.SCOREBOARD
+
+        # Register access: ``_try_issue``'s renaming branch with the
+        # ``RenamingTable.write`` mapped/direct fast paths inlined (the
+        # allocate slow path still goes through ``_allocate``).
+        penalty = 0
+        regfile = self.regfile
+        bank_acc = stats.rf_bank_accesses
+        regs_per_bank = regfile.regs_per_bank
+        if d.lookup_conflict_extra:
+            stats.renaming_conflict_cycles += d.lookup_conflict_extra
+        warp_map = renaming._maps[slot]
+        dst = d.dst
+        if dst is not None:
+            if d.dst_above:
+                if forbid_alloc and dst not in warp_map:
+                    return _Issue.FORBIDDEN
+                stats.renaming_reads += 1
+                dst_phys = warp_map.get(dst)
+                if dst_phys is None:
+                    if self._bank_preserving:
+                        # ``RenamingTable._allocate`` unrolled: the
+                        # compiler bank is the decode cache's
+                        # precomputed ``(dst + slot) % num_banks``.
+                        result = regfile.allocate(
+                            d.dst_bank_by_slotmod[
+                                slot % regfile.num_banks
+                            ],
+                            now,
+                        )
+                        if result is None:
+                            return _Issue.ALLOC
+                        dst_phys, wake = result
+                        warp_map[dst] = dst_phys
+                        renaming._released_live[slot].discard(dst)
+                        stats.renaming_writes += 1
+                        renaming.version += 1
+                        cta_id = renaming._cta_of_warp[slot]
+                        renaming.cta_allocated[cta_id] += 1
+                        ever = renaming._ever[slot]
+                        if dst not in ever:
+                            ever.add(dst)
+                            renaming.cta_assigned[cta_id] += 1
+                    else:  # least-occupied-bank ablation
+                        result = renaming._allocate(slot, dst, now)
+                        if result is None:
+                            return _Issue.ALLOC
+                        dst_phys, wake = result
+                    if wake:
+                        penalty += wake
+                        stats.stall_wakeup_cycles += wake
+            else:
+                dst_phys = renaming._direct[slot][dst]
+            stats.rf_writes += 1
+            bank_acc[dst_phys // regs_per_bank] += 1
+        banks: list[int] = []
+        if d.below_srcs:
+            direct = renaming._direct[slot]
+            for reg in d.below_srcs:
+                phys = direct[reg]
+                stats.rf_reads += 1
+                bank = phys // regs_per_bank
+                bank_acc[bank] += 1
+                banks.append(bank)
+        for reg in d.above_srcs:
+            stats.renaming_reads += 1
+            phys = warp_map.get(reg)
+            if phys is None:
+                if reg in renaming._released_live[slot]:
+                    raise RenamingError(
+                        f"use-after-release: warp {slot} read r{reg} "
+                        "after its compiler-directed release (unsound "
+                        "release plan)"
+                    )
+                continue
+            stats.rf_reads += 1
+            bank = phys // regs_per_bank
+            bank_acc[bank] += 1
+            banks.append(bank)
+        if len(banks) > 1:
+            extra = len(banks) - len(set(banks))
+            if extra:
+                stats.stall_bank_conflict_cycles += extra
+                penalty += extra
+
+        # Execute: ``execute_decoded_vector`` inlined. ``taken`` is the
+        # integer taken-mask for branches, unused otherwise.
+        entry = warp._vec_ops.get(d.pc)
+        if entry is None:
+            entry = _bind_rows(d, warp)
+        src_rows, dst_row, guard_row, pdst_row = entry
+        taken = None
+        kind = d.exec_kind
+        if guard_row is None:
+            if kind == EXEC_ALU:
+                if top.mask == stack.full_mask:
+                    d.exec_out(d.inst, src_rows, warp, dst_row)
+                else:
+                    scratch = warp._scratch
+                    d.exec_out(d.inst, src_rows, warp, scratch)
+                    np.copyto(dst_row, scratch, where=warp.mask_array())
+            elif kind == EXEC_SETP:
+                rhs = d.setp_imm if d.setp_imm is not None else src_rows[1]
+                if top.mask == stack.full_mask:
+                    d.setp_cmp(src_rows[0], rhs, out=pdst_row)
+                else:
+                    stage = warp._bscratch
+                    d.setp_cmp(src_rows[0], rhs, out=stage)
+                    np.copyto(pdst_row, stage, where=warp.mask_array())
+            elif d.is_branch:
+                taken = top.mask
+            elif kind == EXEC_LOAD:
+                mask = warp.mask_array()
+                addrs = warp._scratch2
+                np.add(src_rows[0], d.offset, out=addrs)
+                np.bitwise_and(addrs, ADDR_MASK, out=addrs)
+                memory = self.gmem if d.is_global_mem else warp.cta.shared
+                np.copyto(dst_row, memory.load(addrs, mask), where=mask)
+            elif kind == EXEC_STORE:
+                mask = warp.mask_array()
+                addrs = warp._scratch2
+                np.add(src_rows[0], d.offset, out=addrs)
+                np.bitwise_and(addrs, ADDR_MASK, out=addrs)
+                memory = self.gmem if d.is_global_mem else warp.cta.shared
+                memory.store(addrs, src_rows[1], mask)
+        else:
+            gmask = warp._gscratch
+            if d.guard_negated:
+                # On booleans ``a > b`` is ``a & ~b``: one fused ufunc.
+                np.greater(warp.mask_array(), guard_row, out=gmask)
+            else:
+                np.logical_and(warp.mask_array(), guard_row, out=gmask)
+            if kind == EXEC_ALU:
+                scratch = warp._scratch
+                d.exec_out(d.inst, src_rows, warp, scratch)
+                np.copyto(dst_row, scratch, where=gmask)
+            elif kind == EXEC_SETP:
+                rhs = d.setp_imm if d.setp_imm is not None else src_rows[1]
+                stage = warp._bscratch
+                d.setp_cmp(src_rows[0], rhs, out=stage)
+                np.copyto(pdst_row, stage, where=gmask)
+            elif d.is_branch:
+                taken = array_to_mask(gmask)
+            elif kind == EXEC_LOAD:
+                addrs = warp._scratch2
+                np.add(src_rows[0], d.offset, out=addrs)
+                np.bitwise_and(addrs, ADDR_MASK, out=addrs)
+                memory = self.gmem if d.is_global_mem else warp.cta.shared
+                np.copyto(dst_row, memory.load(addrs, gmask), where=gmask)
+            elif kind == EXEC_STORE:
+                addrs = warp._scratch2
+                np.add(src_rows[0], d.offset, out=addrs)
+                np.bitwise_and(addrs, ADDR_MASK, out=addrs)
+                memory = self.gmem if d.is_global_mem else warp.cta.shared
+                memory.store(addrs, src_rows[1], gmask)
+
+        stats.instructions += 1
+        warp.last_issue_cycle = now
+
+        # Compiler-directed releases: ``RenamingTable.release`` with its
+        # ``_free`` helper unrolled (flags mode, tracer-less).
+        if d.release_list is not None:
+            threshold = renaming.threshold
+            rel_live = renaming._released_live[slot]
+            for reg in d.release_list:
+                if reg < threshold:
+                    continue
+                phys = warp_map.get(reg)
+                if phys is None:
+                    stats.wasted_releases += 1
+                    continue
+                stats.renaming_writes += 1
+                del warp_map[reg]
+                regfile.free(phys, now)
+                renaming.version += 1
+                renaming.cta_allocated[renaming._cta_of_warp[slot]] -= 1
+                rel_live.add(reg)
+
+        # Retire: ``_retire_cached`` inlined.
+        config = self.config
+
+        if d.is_branch:
+            stats.branches += 1
+            fallthrough = d.pc + 1
+            if guard_row is None:
+                stack.pc = d.target_pc
+            else:
+                if d.reconv_pc is None:
+                    raise SimulationError(
+                        f"conditional branch at pc {d.pc} has no "
+                        "reconvergence point (kernel not compiled?)"
+                    )
+                if stack.branch(taken, d.target_pc, fallthrough,
+                                d.reconv_pc):
+                    stats.divergent_branches += 1
+            if stack.pc != fallthrough:
+                warp.stall_front_end(
+                    now + 1 + config.renaming_extra_cycles,
+                    self._stalled_wakeups,
+                )
+            return _Issue.ISSUED
+
+        if d.is_exit:
+            exit_mask = (
+                top.mask if guard_row is None else array_to_mask(gmask)
+            )
+            if stack.exit_lanes(exit_mask):
+                self._finish_warp(warp, now)
+            elif warp.pc == d.pc:
+                warp.pc += 1
+            return _Issue.ISSUED
+
+        if d.is_barrier:
+            stats.barriers += 1
+            top.pc += 1
+            self._arrive_barrier(
+                warp, self.schedulers[slot % len(self.schedulers)]
+            )
+            return _Issue.ISSUED
+
+        top.pc += 1
+
+        if d.is_global_mem:
+            stats.memory_instructions += 1
+            complete = self.mem_unit.request(now) + penalty
+            if not d.is_store:
+                warp.pending_regs.add(dst)
+                warp.outstanding_mem += 1
+                self._push_event(complete, "mem_wb", (warp, d.inst))
+                self.schedulers[slot % len(self.schedulers)].demote(warp)
+            return _Issue.ISSUED
+
+        if d.is_shared_mem:
+            stats.memory_instructions += 1
+            if not d.is_store:
+                warp.pending_regs.add(dst)
+                self._push_event(
+                    now + config.shared_mem_latency + penalty,
+                    "wb", (warp, d.inst),
+                )
+            return _Issue.ISSUED
+
+        if d.needs_wb:
+            if dst is not None:
+                warp.pending_regs.add(dst)
+            if d.pdst is not None:
+                warp.pending_preds.add(d.pdst)
+            latency = (
+                config.sfu_latency if d.is_sfu else config.alu_latency
+            )
+            heapq.heappush(
+                self._events,
+                (now + latency + penalty, next(self._seq), "wb",
+                 (warp, d.inst)),
+            )
+        return _Issue.ISSUED
 
     def _try_issue_uncached(self, warp: Warp, now: int,
                             forbid_alloc: bool = False) -> _Issue:
@@ -1115,6 +1489,134 @@ class SMCore:
             # Per-cycle reference path: nothing in flight can ever
             # change the issue outcome — same corner as the skip
             # engine's empty jump-target set, detected the same cycle.
+            self._force_spill_or_deadlock(alloc_blocked)
+
+    def _tick_vector(self) -> None:
+        """Vector-engine tick (bound alongside ``_try_issue_vector``
+        for the round-robin scheduler policies): ``tick`` with the
+        scheduler's ``candidates``/``issued`` fast paths and the
+        throttle no-op unrolled inline. The stall/issue accounting is
+        line-for-line ``tick``'s — the equivalence grids compare every
+        :class:`SimStats` field across the two tick paths."""
+        now = self.cycle
+        events = self._events
+        if events and events[0][0] <= now:
+            # ``_process_events`` unrolled: scoreboard clears go
+            # straight at the pending sets, ``wake`` at the dirty bit.
+            schedulers = self.schedulers
+            nsched = len(schedulers)
+            heappop = heapq.heappop
+            while events and events[0][0] <= now:
+                _, _, kind, payload = heappop(events)
+                if kind == "wb":
+                    warp, inst = payload
+                    if inst.dst is not None:
+                        warp.pending_regs.discard(inst.dst)
+                    if inst.pdst is not None:
+                        warp.pending_preds.discard(inst.pdst)
+                elif kind == "mem_wb":
+                    warp, inst = payload
+                    if inst.dst is not None:
+                        warp.pending_regs.discard(inst.dst)
+                    if inst.pdst is not None:
+                        warp.pending_preds.discard(inst.pdst)
+                    warp.outstanding_mem -= 1
+                    if warp.outstanding_mem == 0:
+                        schedulers[warp.slot % nsched]._refill_dirty = True
+                elif kind == "spill_done":
+                    (warp,) = payload
+                    warp.status = WarpStatus.SPILLED
+                    self._spilled_count += 1
+                elif kind == "fill_done":
+                    (warp,) = payload
+                    warp.status = WarpStatus.ACTIVE
+                    warp.spilled_regs = ()
+                    schedulers[warp.slot % nsched]._refill_dirty = True
+                else:  # pragma: no cover - defensive
+                    raise SimulationError(f"unknown event kind {kind}")
+        if self.cta_queue:
+            self._launch_ctas(now)
+        if self._spilled_count:
+            self._fill_spilled(now)
+        if self.sample_interval:
+            self._record_samples_until(now)
+
+        restricted = self._throttle() if self._underprov else None
+        stats = self.stats
+        stats.ticks_executed += 1
+        skip = self.cycle_skip
+        if skip:
+            snap = (
+                stats.stall_scoreboard,
+                stats.stall_no_free_register,
+                stats.stall_throttled,
+                stats.renaming_reads,
+                stats.renaming_conflict_cycles,
+            )
+        active = WarpStatus.ACTIVE
+        issued_any = False
+        alloc_blocked = False
+        try_issue = self._try_issue
+        for sched in self.schedulers:
+            if restricted is not None:
+                sched.refill(prefer_cta=restricted)
+            elif (
+                sched.pending
+                and sched._refill_dirty
+                and len(sched.ready) < sched.ready_size
+            ):
+                sched.refill()
+            stats.issue_slots += 1
+            issued = False
+            ready = sched.ready
+            rr = sched._rr
+            snapshot = sched._snapshot
+            snapshot.clear()
+            if rr:
+                snapshot.extend(ready[rr:])
+                snapshot.extend(ready[:rr])
+            else:
+                snapshot.extend(ready)
+            for warp in snapshot:
+                if warp.status is not active:
+                    continue
+                if now < warp.stalled_until:
+                    continue
+                forbid = (
+                    restricted is not None and warp.cta.uid != restricted
+                )
+                outcome = try_issue(warp, now, forbid_alloc=forbid)
+                if outcome is _Issue.ISSUED:
+                    if warp in ready:
+                        sched._rr = (ready.index(warp) + 1) % len(ready)
+                    else:
+                        sched.issued(warp)
+                    stats.issued += 1
+                    issued = True
+                    break
+                if outcome is _Issue.SCOREBOARD:
+                    stats.stall_scoreboard += 1
+                elif outcome is _Issue.FORBIDDEN:
+                    stats.stall_throttled += 1
+                else:
+                    stats.stall_no_free_register += 1
+                    alloc_blocked = True
+            if not issued:
+                stats.stall_no_ready_warp += 1
+            issued_any = issued_any or issued
+
+        self.cycle = now + 1
+        if issued_any:
+            self._alloc_fail_streak = 0
+            return
+        if alloc_blocked:
+            self._alloc_fail_streak += 1
+            if self._alloc_fail_streak >= SPILL_TRIGGER_CYCLES:
+                if self._maybe_spill(now):
+                    return
+        if skip:
+            self._skip_ahead(now, alloc_blocked, snap, restricted)
+        elif self._next_wake(now + 1) is None:
             self._force_spill_or_deadlock(alloc_blocked)
 
     def _spilled_pending(self) -> bool:

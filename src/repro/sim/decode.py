@@ -32,6 +32,7 @@ from repro.isa.kernel import Kernel
 from repro.isa.opcodes import MemSpace, Opcode, Unit, opcode_info
 from repro.sim.execute import (
     _ALU_OPS,
+    _ALU_OPS_OUT,
     _CMP,
     EXEC_ALU,
     EXEC_LOAD,
@@ -58,7 +59,7 @@ class DecodedInst:
         "is_pir", "is_pbr", "is_branch", "is_exit", "is_barrier",
         "is_global_mem", "is_shared_mem", "is_store", "is_sfu",
         # operands
-        "dst", "pdst", "srcs", "dedup_srcs", "guard_preg",
+        "dst", "pdst", "srcs", "dedup_srcs", "guard_preg", "guard_negated",
         # release metadata
         "release_list", "release_regs",
         # renaming-path precomputation
@@ -66,8 +67,10 @@ class DecodedInst:
         # baseline-path precomputation (per slot-class bank ids)
         "src_banks_by_slotmod", "dst_bank_by_slotmod",
         "baseline_conflict_extra",
-        # value-semantics dispatch (see execute_decoded)
-        "exec_kind", "exec_handler", "offset", "setp_imm", "setp_cmp",
+        # value-semantics dispatch (see execute_decoded and its
+        # struct-of-arrays twin execute_decoded_vector)
+        "exec_kind", "exec_handler", "exec_out", "offset", "setp_imm",
+        "setp_cmp",
         # retire
         "needs_wb", "target_pc", "reconv_pc",
     )
@@ -93,6 +96,7 @@ class DecodedInst:
         self.srcs = inst.srcs
         self.dedup_srcs = tuple(dict.fromkeys(inst.srcs))
         self.guard_preg = None if inst.guard is None else inst.guard.preg
+        self.guard_negated = inst.guard is not None and inst.guard.negated
 
         # Per-instruction release pairs (reg, flag) collapse to the regs
         # whose flag is set; the all-false case collapses to None so the
@@ -144,6 +148,7 @@ class DecodedInst:
         # resolved once here instead of per dynamic instruction.
         self.offset = inst.offset
         self.exec_handler = _ALU_OPS.get(inst.opcode)
+        self.exec_out = _ALU_OPS_OUT.get(inst.opcode)
         self.setp_imm = None
         self.setp_cmp = None
         if inst.opcode is Opcode.SETP:

@@ -9,6 +9,20 @@ correct.
 
 Branch instructions return the taken-lane mask; control (SIMT stack,
 barriers, exit) is applied by the core.
+
+Two lane engines share these semantics (``REPRO_VECTOR_LANES``):
+
+* the **dict engine** (:func:`execute` / :func:`execute_decoded`) keeps
+  the seed behaviour — per-register lane arrays merged with a fresh
+  ``np.where`` per write — and serves as the strict reference;
+* the **struct-of-arrays engine** (:func:`execute_decoded_vector`)
+  drives a :class:`repro.sim.warp.VectorWarp`: operand rows of one
+  contiguous 2D bank, resolved once per (warp, pc), with in-place
+  masked ``np.copyto`` writes and out-parameter ALU handlers that
+  allocate nothing on the hot path.
+
+The equivalence suite pins the two engines bit-identical per SimStats
+field across the full engine grid.
 """
 
 from __future__ import annotations
@@ -23,6 +37,18 @@ from repro.sim.warp import Warp
 #: Addresses are clipped to 31 bits to keep the sparse memories sane.
 ADDR_MASK = (1 << 31) - 1
 
+#: ``np.abs`` wraps ``INT64_MIN`` back onto itself (two's complement),
+#: which used to turn ``RCP`` into a negative-divisor division and
+#: ``SQRT`` into a NaN cast. Magnitude-based handlers clamp the input
+#: one above the minimum first, so the absolute value is always
+#: non-negative.
+_INT64_MIN_P1 = np.int64(-(2**63) + 1)
+#: ``RCP`` adds one to the magnitude before dividing; capping the
+#: magnitude keeps that increment from overflowing while preserving
+#: exact results (any magnitude above 2**16 already divides to zero).
+_RCP_MAG_CAP = np.int64(1) << np.int64(32)
+_RCP_NUM = np.int64(1 << 16)
+
 _CMP = {
     CmpOp.LT: np.less,
     CmpOp.LE: np.less_equal,
@@ -34,20 +60,36 @@ _CMP = {
 
 
 def effective_mask(warp: Warp, inst: Instruction) -> np.ndarray:
-    """Active-lane boolean array after applying the guard predicate."""
+    """Active-lane boolean array after applying the guard predicate.
+
+    The guard combine is a single fused boolean op: ``mask & pred`` for
+    a plain guard, ``mask > pred`` for a negated one (on booleans,
+    ``a > b`` is exactly ``a & ~b`` without materializing ``~b``).
+    """
     mask = warp.mask_array()
-    if inst.guard is not None:
-        pred = warp.pred(inst.guard.preg)
-        mask = mask & (~pred if inst.guard.negated else pred)
+    guard = inst.guard
+    if guard is not None:
+        pred = warp.pred(guard.preg)
+        mask = np.greater(mask, pred) if guard.negated else (mask & pred)
     return mask
 
 
 def array_to_mask(lanes: np.ndarray) -> int:
-    """Boolean lane array -> integer bitmask."""
-    mask = 0
-    for lane in np.nonzero(lanes)[0]:
-        mask |= 1 << int(lane)
-    return mask
+    """Boolean lane array -> integer bitmask (vectorized bit-pack).
+
+    ``np.packbits`` packs the lanes little-endian into bytes in one C
+    pass; the bytes reassemble into the arbitrary-width Python int the
+    SIMT stack expects. This replaces a per-lane Python loop that ran
+    on every taken branch and guarded ``BRA``.
+    """
+    return int.from_bytes(
+        np.packbits(lanes, bitorder="little").tobytes(), "little"
+    )
+
+
+def _magnitude(values: np.ndarray) -> np.ndarray:
+    """``|values|`` with ``INT64_MIN`` clamped away before the abs."""
+    return np.abs(np.maximum(values, _INT64_MIN_P1))
 
 
 def special_value(warp: Warp, special: Special) -> np.ndarray:
@@ -167,6 +209,115 @@ def execute_decoded(d, warp: Warp, gmem) -> int | None:
     return None
 
 
+def _bind_rows(d, warp):
+    """Resolve one decoded instruction's operand rows for ``warp``.
+
+    Capacity is ensured *before* any view is captured: ``reg``/``pred``
+    may grow the warp's bank, which reallocates every row, so a view
+    bound against the old bank would silently detach. Growth also
+    clears the op cache (see ``VectorWarp``), keeping every cached
+    entry aimed at live storage.
+    """
+    regs = d.srcs if d.dst is None else d.srcs + (d.dst,)
+    if regs:
+        warp.reg(max(regs))
+    preds = [p for p in (d.guard_preg, d.pdst) if p is not None]
+    if preds:
+        warp.pred(max(preds))
+    # Capacity is ensured above, so the rows can be indexed directly.
+    rrows = warp._reg_rows
+    prows = warp._pred_rows
+    entry = (
+        tuple(rrows[reg] for reg in d.srcs),
+        None if d.dst is None else rrows[d.dst],
+        None if d.guard_preg is None else prows[d.guard_preg],
+        None if d.pdst is None else prows[d.pdst],
+    )
+    warp._vec_ops[d.pc] = entry
+    return entry
+
+
+def execute_decoded_vector(d, warp, gmem) -> int | None:
+    """Struct-of-arrays twin of :func:`execute_decoded`.
+
+    Drives a :class:`repro.sim.warp.VectorWarp`: operand rows of the
+    warp's contiguous register bank are resolved once per (warp, pc)
+    into the warp's op cache; ALU results are computed straight into
+    the destination row when every lane is active, or staged through a
+    preallocated scratch row and merged with one in-place masked
+    ``np.copyto`` otherwise; the guard combine fuses into a single
+    boolean ufunc writing a scratch row. Value semantics are
+    bit-identical to the dict-engine reference per SimStats field.
+
+    Lanes outside the warp's full mask (a partial tail warp) may
+    receive garbage on the full-active fast path; that is safe because
+    every observable read — predicate guards, taken masks, memory
+    stores, loads — is combined with the active-lane mask first (the
+    in-place write invariants in docs/INTERNALS.md).
+    """
+    entry = warp._vec_ops.get(d.pc)
+    if entry is None:
+        entry = _bind_rows(d, warp)
+    src_rows, dst_row, guard_row, pdst_row = entry
+    stack = warp.stack
+    top = stack._stack[-1]
+    if guard_row is None:
+        if d.is_branch:
+            return top.mask
+        mask = None  # lazily resolved active-lane array
+        full = top.mask == stack.full_mask
+    else:
+        amask = warp.mask_array()
+        mask = warp._gscratch
+        if d.guard_negated:
+            # On booleans ``a > b`` is ``a & ~b``: one fused ufunc.
+            np.greater(amask, guard_row, out=mask)
+        else:
+            np.logical_and(amask, guard_row, out=mask)
+        if d.is_branch:
+            return array_to_mask(mask)
+        full = False
+
+    kind = d.exec_kind
+    if kind == EXEC_NONE:
+        return None
+    if kind == EXEC_ALU:
+        if full:
+            d.exec_out(d.inst, src_rows, warp, dst_row)
+        else:
+            scratch = warp._scratch
+            d.exec_out(d.inst, src_rows, warp, scratch)
+            if mask is None:
+                mask = warp.mask_array()
+            np.copyto(dst_row, scratch, where=mask)
+        return None
+    if mask is None:
+        mask = warp.mask_array()
+    if kind == EXEC_LOAD:
+        addrs = warp._scratch2
+        np.add(src_rows[0], d.offset, out=addrs)
+        np.bitwise_and(addrs, ADDR_MASK, out=addrs)
+        memory = gmem if d.is_global_mem else warp.cta.shared
+        np.copyto(dst_row, memory.load(addrs, mask), where=mask)
+        return None
+    if kind == EXEC_STORE:
+        addrs = warp._scratch2
+        np.add(src_rows[0], d.offset, out=addrs)
+        np.bitwise_and(addrs, ADDR_MASK, out=addrs)
+        memory = gmem if d.is_global_mem else warp.cta.shared
+        memory.store(addrs, src_rows[1], mask)
+        return None
+    # EXEC_SETP
+    rhs = d.setp_imm if d.setp_imm is not None else src_rows[1]
+    if full:
+        d.setp_cmp(src_rows[0], rhs, out=pdst_row)
+    else:
+        stage = warp._bscratch
+        d.setp_cmp(src_rows[0], rhs, out=stage)
+        np.copyto(pdst_row, stage, where=mask)
+    return None
+
+
 #: ``DecodedInst.exec_kind`` classes, mirrored from repro.sim.decode
 #: (defined here to avoid an import cycle; decode imports this module).
 EXEC_ALU = 0
@@ -178,7 +329,8 @@ EXEC_SETP = 4
 
 #: Per-opcode value semantics. A dict dispatch replaces the linear
 #: opcode if-chain on the issue hot path; adding an opcode means adding
-#: an entry here (plus its :mod:`repro.isa.opcodes` metadata).
+#: an entry here plus an out-parameter twin in :data:`_ALU_OPS_OUT`
+#: (and its :mod:`repro.isa.opcodes` metadata).
 _ALU_OPS = {
     Opcode.MOV: lambda inst, srcs, warp: srcs[0],
     Opcode.MOVI: lambda inst, srcs, warp: np.full(
@@ -202,9 +354,126 @@ _ALU_OPS = {
     Opcode.SEL: lambda inst, srcs, warp: np.where(
         srcs[0] != 0, srcs[1], srcs[2]
     ),
-    Opcode.RCP: lambda inst, srcs, warp: (1 << 16) // (np.abs(srcs[0]) + 1),
+    Opcode.RCP: lambda inst, srcs, warp: _RCP_NUM // (
+        np.minimum(_magnitude(srcs[0]), _RCP_MAG_CAP) + 1
+    ),
     Opcode.SQRT: lambda inst, srcs, warp: np.sqrt(
-        np.abs(srcs[0]).astype(np.float64)
+        _magnitude(srcs[0]).astype(np.float64)
     ).astype(np.int64),
     Opcode.S2R: lambda inst, srcs, warp: special_value(warp, inst.special),
+}
+
+
+# --- out-parameter twins for the struct-of-arrays engine ---------------------
+# Contract: ``handler(inst, src_rows, warp, out)`` writes the result
+# into ``out``, which may alias any source row (it is the destination
+# row on the full-active fast path). Single-ufunc handlers are
+# alias-safe by construction (elementwise, same shape); multi-step
+# handlers stage through ``warp._scratch2`` / ``warp._bscratch`` and
+# only touch ``out`` in their final elementwise step.
+
+def _mov_out(inst, srcs, warp, out):
+    np.copyto(out, srcs[0])
+
+
+def _movi_out(inst, srcs, warp, out):
+    out.fill(inst.imm)
+
+
+def _imad_out(inst, srcs, warp, out):
+    tmp = warp._scratch2
+    np.multiply(srcs[0], srcs[1], out=tmp)
+    np.add(tmp, srcs[2], out=out)
+
+
+def _sel_out(inst, srcs, warp, out):
+    cond = warp._bscratch
+    np.not_equal(srcs[0], 0, out=cond)
+    tmp = warp._scratch2
+    np.copyto(tmp, srcs[2])
+    np.copyto(tmp, srcs[1], where=cond)
+    np.copyto(out, tmp)
+
+
+def _rcp_out(inst, srcs, warp, out):
+    tmp = warp._scratch2
+    np.maximum(srcs[0], _INT64_MIN_P1, out=tmp)
+    np.abs(tmp, out=tmp)
+    np.minimum(tmp, _RCP_MAG_CAP, out=tmp)
+    np.add(tmp, 1, out=tmp)
+    np.floor_divide(_RCP_NUM, tmp, out=out)
+
+
+def _sqrt_out(inst, srcs, warp, out):
+    tmp = warp._scratch2
+    np.maximum(srcs[0], _INT64_MIN_P1, out=tmp)
+    np.abs(tmp, out=tmp)
+    ftmp = warp._fscratch
+    np.sqrt(tmp, out=ftmp, casting="unsafe")
+    np.copyto(out, ftmp, casting="unsafe")
+
+
+def _s2r_out(inst, srcs, warp, out):
+    special = inst.special
+    cta = warp.cta
+    if special is Special.TID:
+        np.copyto(out, warp.tids)
+    elif special is Special.CTAID:
+        out.fill(cta.ctaid)
+    elif special is Special.NTID:
+        out.fill(cta.num_threads)
+    elif special is Special.NCTAID:
+        out.fill(cta.grid_ctas)
+    elif special is Special.LANEID:
+        np.copyto(out, warp.lane_ids)
+    elif special is Special.WARPID:
+        out.fill(warp.warp_in_cta)
+    else:
+        raise SimulationError(f"unknown special register {special}")
+
+
+_ALU_OPS_OUT = {
+    Opcode.MOV: _mov_out,
+    Opcode.MOVI: _movi_out,
+    Opcode.IADD: lambda inst, srcs, warp, out: np.add(srcs[0], srcs[1], out=out),
+    Opcode.FADD: lambda inst, srcs, warp, out: np.add(srcs[0], srcs[1], out=out),
+    Opcode.IADDI: lambda inst, srcs, warp, out: np.add(
+        srcs[0], inst.imm, out=out
+    ),
+    Opcode.ISUB: lambda inst, srcs, warp, out: np.subtract(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.IMUL: lambda inst, srcs, warp, out: np.multiply(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.FMUL: lambda inst, srcs, warp, out: np.multiply(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.IMAD: _imad_out,
+    Opcode.FFMA: _imad_out,
+    Opcode.AND: lambda inst, srcs, warp, out: np.bitwise_and(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.OR: lambda inst, srcs, warp, out: np.bitwise_or(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.XOR: lambda inst, srcs, warp, out: np.bitwise_xor(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.SHL: lambda inst, srcs, warp, out: np.left_shift(
+        srcs[0], inst.imm & 63, out=out
+    ),
+    Opcode.SHR: lambda inst, srcs, warp, out: np.right_shift(
+        srcs[0], inst.imm & 63, out=out
+    ),
+    Opcode.IMIN: lambda inst, srcs, warp, out: np.minimum(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.IMAX: lambda inst, srcs, warp, out: np.maximum(
+        srcs[0], srcs[1], out=out
+    ),
+    Opcode.SEL: _sel_out,
+    Opcode.RCP: _rcp_out,
+    Opcode.SQRT: _sqrt_out,
+    Opcode.S2R: _s2r_out,
 }

@@ -201,12 +201,37 @@ class WarpScheduler:
         return snapshot
 
     def issued(self, warp: Warp) -> None:
-        """Record an issue: advances RR pointer / pins the greedy warp."""
+        """Record an issue: advances RR pointer / pins the greedy warp.
+
+        The issued warp may already have left the ready queue (demoted
+        on a global-memory issue, removed on completion) by the time
+        this runs. The pointer must still advance *past* it — so the
+        advance is computed against the :meth:`candidates` snapshot the
+        warp was selected from: the next pointer target is the issued
+        warp's first successor in the snapshot that is still ready.
+        Silently skipping the advance (the old behaviour) left the
+        pointer aimed at the departed warp's old index, biasing the
+        next selection back toward low queue positions.
+        """
         if self.policy == "gto":
             self._greedy = warp
             return
-        if warp in self.ready:
-            self._rr = (self.ready.index(warp) + 1) % max(1, len(self.ready))
+        ready = self.ready
+        if warp in ready:
+            self._rr = (ready.index(warp) + 1) % max(1, len(ready))
+            return
+        if not ready:
+            self._rr = 0
+            return
+        snapshot = self._snapshot
+        if warp in snapshot:
+            start = snapshot.index(warp)
+            for step in range(1, len(snapshot)):
+                successor = snapshot[(start + step) % len(snapshot)]
+                if successor in ready:
+                    self._rr = ready.index(successor)
+                    return
+        self._rr %= len(ready)
 
     @property
     def has_warps(self) -> bool:

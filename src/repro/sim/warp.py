@@ -1,10 +1,20 @@
 """Per-warp execution state: lanes, SIMT stack, scoreboard, status.
 
-Functional register values are keyed by *architected* id and stored as
-32-lane numpy arrays; renaming affects only timing and the register
-file occupancy model, never functional values. That separation lets the
-test suite check that baseline / renamed / GPU-shrink configurations
-compute identical results.
+Functional register values are keyed by *architected* id; renaming
+affects only timing and the register file occupancy model, never
+functional values. That separation lets the test suite check that
+baseline / renamed / GPU-shrink configurations compute identical
+results.
+
+Two storage layouts implement the same register API
+(``REPRO_VECTOR_LANES``):
+
+* :class:`Warp` — the seed reference: one 32-lane numpy array per
+  architected id in a dict, writes merged with a fresh ``np.where``;
+* :class:`VectorWarp` — struct-of-arrays: one contiguous 2D bank
+  (``regs[num_regs, warp_size]`` int64 plus a bool predicate bank)
+  whose *rows* are permanent views, enabling in-place masked writes
+  and per-(warp, pc) operand-row caching in the vector execute path.
 """
 
 from __future__ import annotations
@@ -163,3 +173,90 @@ class Warp:
             f"Warp(slot={self.slot}, cta={self.cta.index}, pc={self.pc}, "
             f"{self.status.value})"
         )
+
+
+class VectorWarp(Warp):
+    """Struct-of-arrays warp: one contiguous 2D bank per state class.
+
+    Register row views (``bank[index]``) are handed out by :meth:`reg`
+    and are *permanent* — a write never replaces a row, it mutates it
+    in place (``np.copyto(row, values, where=mask)``). That stability
+    is what lets the vector execute path resolve operand rows once per
+    (warp, pc) into :attr:`_vec_ops` and reuse them for every dynamic
+    execution.
+
+    The only event that moves storage is bank growth (an access beyond
+    the kernel's declared register count): the bank is reallocated with
+    values copied over and :attr:`_vec_ops` is cleared, so stale views
+    can never be reused.
+
+    Scratch rows (:attr:`_scratch`, :attr:`_scratch2`,
+    :attr:`_fscratch`, :attr:`_bscratch`, :attr:`_gscratch`) are owned
+    staging buffers for the out-parameter ALU handlers and fused guard
+    masks in :mod:`repro.sim.execute`; they make the vector hot path
+    allocation-free.
+    """
+
+    def __init__(self, slot: int, cta, warp_in_cta: int, warp_size: int,
+                 active_threads: int, num_regs: int = 16,
+                 num_preds: int = 8):
+        super().__init__(slot, cta, warp_in_cta, warp_size, active_threads)
+        self._reg_bank = np.zeros((max(1, num_regs), warp_size),
+                                  dtype=np.int64)
+        self._pred_bank = np.zeros((max(1, num_preds), warp_size),
+                                   dtype=bool)
+        self._reg_rows = list(self._reg_bank)
+        self._pred_rows = list(self._pred_bank)
+        # The dict layout is unused; poison it so any code path still
+        # reaching for it fails loudly instead of silently forking state.
+        self.regs = None
+        self.preds = None
+        self._scratch = np.zeros(warp_size, dtype=np.int64)
+        self._scratch2 = np.zeros(warp_size, dtype=np.int64)
+        self._fscratch = np.zeros(warp_size, dtype=np.float64)
+        self._bscratch = np.zeros(warp_size, dtype=bool)
+        self._gscratch = np.zeros(warp_size, dtype=bool)
+        #: pc -> (src_rows, dst_row, guard_row, pdst_row), bound by
+        #: the vector execute path; cleared on any bank growth.
+        self._vec_ops: dict = {}
+
+    # --- functional register access ------------------------------------------
+    def reg(self, index: int) -> np.ndarray:
+        rows = self._reg_rows
+        if index >= len(rows):
+            self._grow_regs(index)
+            rows = self._reg_rows
+        return rows[index]
+
+    def write_reg(self, index: int, values: np.ndarray,
+                  mask: np.ndarray) -> None:
+        np.copyto(self.reg(index), values, where=mask)
+
+    def pred(self, index: int) -> np.ndarray:
+        rows = self._pred_rows
+        if index >= len(rows):
+            self._grow_preds(index)
+            rows = self._pred_rows
+        return rows[index]
+
+    def write_pred(self, index: int, values: np.ndarray,
+                   mask: np.ndarray) -> None:
+        np.copyto(self.pred(index), values, where=mask)
+
+    def _grow_regs(self, index: int) -> None:
+        old = self._reg_bank
+        bank = np.zeros((max(index + 1, 2 * old.shape[0]), self.warp_size),
+                        dtype=np.int64)
+        bank[: old.shape[0]] = old
+        self._reg_bank = bank
+        self._reg_rows = list(bank)
+        self._vec_ops.clear()
+
+    def _grow_preds(self, index: int) -> None:
+        old = self._pred_bank
+        bank = np.zeros((max(index + 1, 2 * old.shape[0]), self.warp_size),
+                        dtype=bool)
+        bank[: old.shape[0]] = old
+        self._pred_bank = bank
+        self._pred_rows = list(bank)
+        self._vec_ops.clear()

@@ -10,6 +10,7 @@ from repro.analysis.bench import (
     DEFAULT_WORKLOADS,
     GATE_PIPELINE_FLOOR,
     GATE_SPEEDUP_FLOOR,
+    GATE_VECTOR_SPEEDUP_FLOOR,
     MODES,
     SCHEMA,
     SHRINK_WORKLOADS,
@@ -62,6 +63,11 @@ class TestRunBenchmark:
         assert shrink["wall_seconds_noskip"] > 0
         assert shrink["cycles_per_second_noskip"] > 0
         assert shrink["speedup"] > 0
+        # The flags mode times both register-state engines (v4).
+        flags = data["modes"]["flags"]
+        assert flags["wall_seconds_scalar"] > 0
+        assert flags["cycles_per_second_scalar"] > 0
+        assert flags["vector_speedup"] > 0
         assert validate_bench(data) == []
 
     def test_default_samples_are_stable(self):
@@ -102,10 +108,17 @@ class TestValidate:
             "modes.shrink.speedup" in e for e in validate_bench(data)
         )
 
+    def test_rejects_missing_flags_extras(self):
+        data = self._valid()
+        del data["modes"]["flags"]["vector_speedup"]
+        assert any(
+            "modes.flags.vector_speedup" in e for e in validate_bench(data)
+        )
+
 
 def _synthetic_result(
     base_cps=100.0, flags_cps=80.0, redefine_cps=70.0, shrink_cps=300.0,
-    speedup=3.0,
+    speedup=3.0, vector_speedup=1.5,
 ):
     """Minimal two-file comparison fixture (no simulation needed)."""
     modes = {}
@@ -127,6 +140,11 @@ def _synthetic_result(
         wall_seconds_noskip=speedup,
         cycles_per_second_noskip=shrink_cps / speedup,
         speedup=speedup,
+    )
+    modes["flags"].update(
+        wall_seconds_scalar=vector_speedup,
+        cycles_per_second_scalar=flags_cps / vector_speedup,
+        vector_speedup=vector_speedup,
     )
     return {
         "schema": SCHEMA, "quick": False, "scale": 1.0, "waves": 2,
@@ -232,6 +250,20 @@ class TestCompareAndGate:
         new = _synthetic_result(speedup=GATE_SPEEDUP_FLOOR - 0.2)
         errors = gate_bench(old, new, pct=0.30)
         assert any("speedup" in e for e in errors)
+
+    def test_gate_fails_when_vector_engine_regresses(self):
+        old = _synthetic_result()
+        new = _synthetic_result(
+            vector_speedup=GATE_VECTOR_SPEEDUP_FLOOR - 0.1
+        )
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("vector-engine" in e for e in errors)
+
+    def test_gate_skips_vector_check_for_pre_v4_reference(self):
+        old = _synthetic_result()
+        del old["modes"]["flags"]["vector_speedup"]
+        new = _synthetic_result(vector_speedup=0.5)
+        assert gate_bench(old, new, pct=0.30) == []
 
     def test_gate_ignores_pipeline_when_reference_lacks_it(self):
         old = _synthetic_result()

@@ -108,6 +108,50 @@ class TestAlu:
         assert (warp.reg(0) == 4).all()
 
 
+class TestSfuEdgeValues:
+    """``np.abs(INT64_MIN)`` wraps back onto ``INT64_MIN`` (two's
+    complement), which used to make RCP divide by a negative and SQRT
+    cast a NaN. The magnitude helper must clamp the minimum away."""
+
+    INT64_MIN = -(2 ** 63)
+    INT64_MAX = 2 ** 63 - 1
+    #: int64(sqrt(float64(2**63 - 1))) — the magnitude both extremes
+    #: clamp/abs to before the float sqrt.
+    SQRT_OF_EXTREME = 3037000499
+
+    @pytest.mark.parametrize("value,expected", [
+        (-(2 ** 63), 0),          # INT64_MIN: clamped, capped, -> 0
+        (-(2 ** 63) + 1, 0),
+        (2 ** 63 - 1, 0),         # INT64_MAX: capped at 2**32
+        (-1, (1 << 16) // 2),
+        (0, 1 << 16),
+        (1, (1 << 16) // 2),
+        ((1 << 16) - 1, 1),
+        (1 << 16, 0),             # first magnitude that divides to 0
+    ])
+    def test_rcp_edge_values(self, warp, gmem, value, expected):
+        set_reg(warp, 1, value)
+        run(warp, gmem, Opcode.RCP, dst=0, srcs=(1,))
+        out = warp.reg(0)
+        assert (out >= 0).all()
+        assert (out == expected).all()
+
+    @pytest.mark.parametrize("value,expected", [
+        (-(2 ** 63), SQRT_OF_EXTREME),
+        (-(2 ** 63) + 1, SQRT_OF_EXTREME),
+        (2 ** 63 - 1, SQRT_OF_EXTREME),
+        (-16, 4),
+        (-1, 1),
+        (0, 0),
+    ])
+    def test_sqrt_edge_values(self, warp, gmem, value, expected):
+        set_reg(warp, 1, value)
+        run(warp, gmem, Opcode.SQRT, dst=0, srcs=(1,))
+        out = warp.reg(0)
+        assert (out >= 0).all()
+        assert (out == expected).all()
+
+
 class TestPredicates:
     def test_setp_register_form(self, warp, gmem):
         warp.regs[1] = np.arange(32, dtype=np.int64)
@@ -212,6 +256,48 @@ class TestBranchesAndSpecials:
         lanes = np.zeros(32, dtype=bool)
         lanes[0] = lanes[5] = lanes[31] = True
         assert array_to_mask(lanes) == (1 | 1 << 5 | 1 << 31)
+
+
+class TestArrayToMask:
+    """The bit-packed ``array_to_mask`` must agree with the per-lane
+    shift-and-or reference for every shape, including the empty and
+    full masks (where an off-by-one in the packing order hides)."""
+
+    @staticmethod
+    def _reference(lanes):
+        mask = 0
+        for index, bit in enumerate(lanes):
+            if bit:
+                mask |= 1 << index
+        return mask
+
+    def test_zero_mask(self):
+        assert array_to_mask(np.zeros(32, dtype=bool)) == 0
+
+    def test_full_mask(self):
+        assert array_to_mask(np.ones(32, dtype=bool)) == (1 << 32) - 1
+
+    def test_single_lane_masks(self):
+        for lane in range(32):
+            lanes = np.zeros(32, dtype=bool)
+            lanes[lane] = True
+            assert array_to_mask(lanes) == 1 << lane
+
+    def test_matches_reference_on_random_masks(self):
+        rng = np.random.default_rng(0xC0FFEE)
+        for _ in range(200):
+            lanes = rng.random(32) < rng.random()
+            assert array_to_mask(lanes) == self._reference(lanes)
+
+    def test_non_multiple_of_eight_lane_counts(self):
+        """packbits pads partial bytes; the tail must not leak bits."""
+        for size in (1, 7, 8, 9, 31, 33, 64):
+            rng = np.random.default_rng(size)
+            lanes = rng.random(size) < 0.5
+            assert array_to_mask(lanes) == self._reference(lanes)
+            assert array_to_mask(np.ones(size, dtype=bool)) == (
+                (1 << size) - 1
+            )
 
     def test_nop_and_meta_do_nothing(self, warp, gmem):
         before = dict(warp.regs)

@@ -166,6 +166,55 @@ class TestRoundRobinFairness:
         assert sched._rr == 0
         assert list(sched.candidates()) == []
 
+    def test_issue_then_demote_advances_past_departed_warp(self):
+        """The core demotes a warp issuing a global load *before* it
+        records the issue; the pointer must still advance to the
+        demoted warp's successor, not stay stuck re-favouring w0."""
+        sched, warps = make(ready_size=3, count=3)
+        assert list(sched.candidates()) == warps[:3]
+        sched.demote(warps[1])  # w1 issued a long-latency op
+        sched.issued(warps[1])
+        assert next(iter(sched.candidates())) is warps[2]
+
+    def test_issue_then_remove_advances_past_departed_warp(self):
+        sched, warps = make(ready_size=3, count=3)
+        list(sched.candidates())
+        sched.remove(warps[1])  # w1 finished on its issuing cycle
+        sched.issued(warps[1])
+        assert next(iter(sched.candidates())) is warps[2]
+
+    def test_issue_then_demote_skips_departed_successor(self):
+        """If the issued warp's immediate successor also left ready,
+        the pointer lands on the next surviving snapshot entry."""
+        sched, warps = make(ready_size=3, count=3)
+        list(sched.candidates())
+        sched.demote(warps[1])
+        sched.demote(warps[2])
+        sched.issued(warps[1])
+        assert next(iter(sched.candidates())) is warps[0]
+
+    def test_issue_then_demote_of_only_ready_warp(self):
+        sched, warps = make(ready_size=1, count=1)
+        list(sched.candidates())
+        sched.demote(warps[0])
+        sched.issued(warps[0])
+        assert sched._rr == 0
+        assert list(sched.candidates()) == []
+
+    def test_round_robin_stays_fair_under_demotion(self):
+        """End-to-end fairness: every warp periodically demotes on a
+        memory issue; issue counts must stay balanced. Before the
+        issued()-after-demote fix, w0 took ~2x its fair share."""
+        sched, warps = make(ready_size=3, count=3)
+        counts = {w.slot: 0 for w in warps}
+        for _ in range(12):
+            warp = next(iter(sched.candidates()))
+            sched.demote(warp)  # long-latency issue: demote first...
+            sched.issued(warp)  # ...then record the issue
+            counts[warp.slot] += 1
+            sched.refill()
+        assert counts == {0: 4, 1: 4, 2: 4}
+
 
 class TestPolicies:
     def test_loose_rr_never_demotes(self):
