@@ -7,8 +7,9 @@ A cache key must identify *everything* a result depends on:
 * the launch geometry and the full :class:`~repro.arch.GPUConfig`;
 * the simulation kwargs (``mode``, ``threshold``, wave caps, sampling);
 * the **engine fingerprint**: the ``REPRO_DECODE_CACHE`` /
-  ``REPRO_CYCLE_SKIP`` / ``REPRO_VECTOR_LANES`` environment switches
-  plus :data:`CACHE_SCHEMA_VERSION`. The engine flags are semantically
+  ``REPRO_CYCLE_SKIP`` / ``REPRO_VECTOR_LANES`` /
+  ``REPRO_WARP_BATCH`` environment switches plus
+  :data:`CACHE_SCHEMA_VERSION`. The engine flags are semantically
   bit-identical, but the ``ticks_executed`` / ``skipped_cycles``
   diagnostics differ between them, and a cached result must round-trip
   *every* field of a fresh run under the same flags.
@@ -115,6 +116,7 @@ def engine_fingerprint(cycle_skip: bool | None = None) -> tuple:
         _flag("REPRO_DECODE_CACHE"),
         bool(cycle_skip),
         _flag("REPRO_VECTOR_LANES"),
+        _flag("REPRO_WARP_BATCH"),
     )
 
 

@@ -38,6 +38,26 @@ class GlobalMemory:
                     values[lane] = store[addr]
         return np.where(mask, values, 0)
 
+    def load_into(self, addrs: np.ndarray, mask: np.ndarray,
+                  out: np.ndarray) -> np.ndarray:
+        """Vector load staged into a caller-owned buffer.
+
+        Same values as :meth:`load` on *active* lanes; inactive lanes
+        hold unspecified data. Callers merge the result under ``mask``
+        (the in-place write invariants in docs/INTERNALS.md), which is
+        what lets the vector engines skip the fresh result array and
+        ``np.where`` zero-fill per dynamic load.
+        """
+        np.multiply(addrs, _HASH, out=out)
+        np.bitwise_and(out, _MASK, out=out)
+        if self._store:
+            flat = addrs.tolist()
+            store = self._store
+            for lane, addr in enumerate(flat):
+                if mask[lane] and addr in store:
+                    out[lane] = store[addr]
+        return out
+
     def store(self, addrs: np.ndarray, values: np.ndarray,
               mask: np.ndarray) -> None:
         store = self._store
@@ -74,6 +94,17 @@ class SharedMemory(GlobalMemory):
                 if mask[lane] and addr in store:
                     values[lane] = store[addr]
         return values
+
+    def load_into(self, addrs: np.ndarray, mask: np.ndarray,
+                  out: np.ndarray) -> np.ndarray:
+        out.fill(0)
+        if self._store:
+            flat = addrs.tolist()
+            store = self._store
+            for lane, addr in enumerate(flat):
+                if mask[lane] and addr in store:
+                    out[lane] = store[addr]
+        return out
 
     def peek(self, addr: int) -> int:
         return self._store.get(addr, 0)

@@ -8,6 +8,7 @@ import pytest
 
 from repro.analysis.bench import (
     DEFAULT_WORKLOADS,
+    GATE_BATCH_SPEEDUP_FLOOR,
     GATE_PIPELINE_FLOOR,
     GATE_SPEEDUP_FLOOR,
     GATE_VECTOR_SPEEDUP_FLOOR,
@@ -63,11 +64,17 @@ class TestRunBenchmark:
         assert shrink["wall_seconds_noskip"] > 0
         assert shrink["cycles_per_second_noskip"] > 0
         assert shrink["speedup"] > 0
-        # The flags mode times both register-state engines (v4).
+        # The flags mode times both register-state engines (v4) and
+        # the per-warp no-batch reference (v5).
         flags = data["modes"]["flags"]
         assert flags["wall_seconds_scalar"] > 0
         assert flags["cycles_per_second_scalar"] > 0
         assert flags["vector_speedup"] > 0
+        assert flags["wall_seconds_nobatch"] > 0
+        assert flags["cycles_per_second_batch"] == flags[
+            "cycles_per_second"
+        ]
+        assert flags["batch_speedup"] > 0
         assert validate_bench(data) == []
 
     def test_default_samples_are_stable(self):
@@ -118,7 +125,7 @@ class TestValidate:
 
 def _synthetic_result(
     base_cps=100.0, flags_cps=80.0, redefine_cps=70.0, shrink_cps=300.0,
-    speedup=3.0, vector_speedup=1.5,
+    speedup=3.0, vector_speedup=1.5, batch_speedup=1.0,
 ):
     """Minimal two-file comparison fixture (no simulation needed)."""
     modes = {}
@@ -145,6 +152,9 @@ def _synthetic_result(
         wall_seconds_scalar=vector_speedup,
         cycles_per_second_scalar=flags_cps / vector_speedup,
         vector_speedup=vector_speedup,
+        wall_seconds_nobatch=batch_speedup,
+        cycles_per_second_batch=flags_cps,
+        batch_speedup=batch_speedup,
     )
     return {
         "schema": SCHEMA, "quick": False, "scale": 1.0, "waves": 2,
@@ -263,6 +273,20 @@ class TestCompareAndGate:
         old = _synthetic_result()
         del old["modes"]["flags"]["vector_speedup"]
         new = _synthetic_result(vector_speedup=0.5)
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_gate_fails_when_batch_engine_regresses(self):
+        old = _synthetic_result()
+        new = _synthetic_result(
+            batch_speedup=GATE_BATCH_SPEEDUP_FLOOR - 0.1
+        )
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("batch-engine" in e for e in errors)
+
+    def test_gate_skips_batch_check_for_pre_v5_reference(self):
+        old = _synthetic_result()
+        del old["modes"]["flags"]["batch_speedup"]
+        new = _synthetic_result(batch_speedup=0.5)
         assert gate_bench(old, new, pct=0.30) == []
 
     def test_gate_ignores_pipeline_when_reference_lacks_it(self):

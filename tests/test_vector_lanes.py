@@ -309,6 +309,13 @@ class TestPlumbing:
                       mode="flags", threshold=compiled.renaming_threshold)
 
     def test_env_flag_selects_engine(self, monkeypatch):
+        # The vector paths bind only on top of the decode cache, and
+        # batching binds on top of the vector engine (test_warp_batch
+        # covers that plumbing) — pin the former on and the latter off
+        # so this tests the vector binding alone, whatever env the
+        # suite runs under.
+        monkeypatch.setenv("REPRO_DECODE_CACHE", "1")
+        monkeypatch.setenv("REPRO_WARP_BATCH", "0")
         monkeypatch.setenv("REPRO_VECTOR_LANES", "0")
         core = self._core()
         assert core.vector_lanes is False
@@ -327,6 +334,8 @@ class TestPlumbing:
     def test_gto_keeps_reference_tick(self, monkeypatch):
         """The inlined tick only covers the rotation policies; gto must
         fall back to the generic tick (but keep the vector issue)."""
+        monkeypatch.setenv("REPRO_DECODE_CACHE", "1")
+        monkeypatch.setenv("REPRO_WARP_BATCH", "0")
         monkeypatch.setenv("REPRO_VECTOR_LANES", "1")
         core = self._core(policy="gto")
         assert core._try_issue.__func__ is SMCore._try_issue_vector
