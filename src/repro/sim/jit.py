@@ -1,0 +1,483 @@
+"""Trace-level JIT: basic-block runs compiled into specialized closures.
+
+The batch engine (PR 6) closed with an honest negative result: its
+wall is per-instruction Python *dispatch* — attribute lookups on
+``DecodedInst``, ``exec_kind`` branching, generic loops over operand
+tuples — not the array work. This module removes that dispatch for the
+hottest shape in every kernel: the decode cache's basic-block runs
+(maximal straight-line stretches of deferrable ALU/SETP instructions,
+:class:`repro.sim.decode.BlockRun`).
+
+For each run, :func:`build_jit` **generates Python source** with every
+per-instruction fact baked in as a literal — register ids, slot-class
+plans, writeback offsets, release lists, guard polarity, the numpy
+ufunc of each opcode — and compiles it once via ``compile()``/``exec``.
+Three kinds of closures come out per run:
+
+* **issue closures** (one per step, ``jit.issue[pc]``) — the planned
+  fast path of ``SMCore._try_issue_batch`` specialized to one static
+  instruction: unrolled scoreboard checks against literal register
+  ids, literal stat deltas, the deferred-pool append, unrolled
+  releases and the lazy-writeback bookkeeping. They bail out (return
+  ``None``) *before any side effect* whenever the front end is not
+  clean — an off-bank register, an unmapped renaming entry (an
+  allocation would be needed) — and the core falls back to the
+  interpreter, which then performs the identical reference sequence.
+* **value closures** (one per step, ``jit.value[pc]``) — the exact
+  semantics of :func:`repro.sim.execute.execute_deferred_single` with
+  operand rows indexed by literal position off the SoA ``VectorWarp``
+  banks and the opcode's out-parameter ufunc inlined.
+* a **whole-run closure** (``jit.run_single[run_id]``) — every step of
+  the run fused straight-line into one function: the capacity check
+  and the full-mask test are hoisted once, guard masks fuse into a
+  single boolean ufunc per guarded step, and no per-step Python frame
+  or dispatch survives.
+
+The program caches on the :class:`~repro.sim.decode.DecodeCache`
+instance (``cache.jit``), so it is shared by every core driving that
+kernel and is implicitly invalidated whenever the decode cache is
+rebuilt — a fresh cache starts with ``jit = None``. Closures never
+capture core- or warp-specific objects (both arrive as arguments), so
+process-pool workers simply rebuild them alongside the decode cache.
+
+Fallback boundaries: branches, barriers, memory instructions, pir/pbr
+flag words and exits are never part of a run, so they always take the
+interpreter; runs additionally split at branch *targets* so a closure
+can never be entered mid-block by a jump. Timing-exactness is the
+batch engine's contract unchanged — the equivalence grids pin every
+:class:`SimStats` field across ``REPRO_TRACE_JIT`` on/off.
+
+``codegen_seconds`` / ``codegen_runs`` accumulate the process-wide
+codegen cost; ``runner --profile`` reports them as a separate bucket.
+"""
+
+from __future__ import annotations
+
+import time
+import weakref
+
+import numpy as np
+
+from repro.isa.opcodes import Opcode
+from repro.sim.decode import BlockRun, DecodeCache
+
+#: Wall-clock seconds spent generating and compiling closure source in
+#: this process (the ``runner --profile`` "jit codegen" bucket).
+codegen_seconds = 0.0
+#: Block runs compiled so far in this process.
+codegen_runs = 0
+
+#: Single-ufunc register-register ALU opcodes inlined directly into
+#: generated source (out-parameter form; alias-safe elementwise).
+_INLINE_BINOPS = {
+    Opcode.IADD: "np.add",
+    Opcode.FADD: "np.add",
+    Opcode.ISUB: "np.subtract",
+    Opcode.IMUL: "np.multiply",
+    Opcode.FMUL: "np.multiply",
+    Opcode.AND: "np.bitwise_and",
+    Opcode.OR: "np.bitwise_or",
+    Opcode.XOR: "np.bitwise_xor",
+    Opcode.IMIN: "np.minimum",
+    Opcode.IMAX: "np.maximum",
+}
+
+#: Register-immediate opcodes: ufunc name plus the literal the decode
+#: path would read off ``inst.imm`` at execute time.
+_INLINE_IMMOPS = {
+    Opcode.IADDI: ("np.add", lambda inst: inst.imm),
+    Opcode.SHL: ("np.left_shift", lambda inst: inst.imm & 63),
+    Opcode.SHR: ("np.right_shift", lambda inst: inst.imm & 63),
+}
+
+
+class JitProgram:
+    """Compiled closures for one kernel's decode cache.
+
+    ``issue`` and ``value`` are pc-indexed (``None`` outside runs);
+    ``run_single`` is run-id-indexed. ``has_runs`` is False for
+    kernels with no fusable straight-line stretch, in which case the
+    core keeps the plain batch tick.
+    """
+
+    __slots__ = ("issue", "value", "run_single", "kernel_name", "has_runs")
+
+    def __init__(self, issue, value, run_single, kernel_name, has_runs):
+        self.issue = issue
+        self.value = value
+        self.run_single = run_single
+        self.kernel_name = kernel_name
+        self.has_runs = has_runs
+
+
+#: Process-wide program memo: id(kernel) -> {(num_banks, threshold,
+#: mode, alu_latency, sfu_latency): JitProgram}. Closures bake only
+#: kernel content (pinned by identity, exactly like
+#: ``DecodeCache.matches``) and those five config facts, so a decode
+#: cache rebuilt for the *same* kernel and key — ``simulate()`` builds
+#: one per call — reuses the compiled program instead of paying
+#: codegen again. Kernel (a plain dataclass) is unhashable, so entries
+#: key on ``id``; a weakref finalizer drops the entry with the kernel
+#: so a recycled id can never resurrect stale closures.
+_programs: dict = {}
+
+
+def ensure_jit(cache: DecodeCache, kernel, config) -> JitProgram:
+    """The cache's JIT program, built (or memo-recalled) on demand.
+
+    Attached to the :class:`DecodeCache` instance so every core
+    sharing the cache shares the closures and a rebuilt cache never
+    serves closures for a stale key; the process-wide memo additionally
+    reuses programs across caches whose key and kernel identity match.
+    """
+    program = cache.jit
+    if program is None:
+        key = (cache.num_banks, cache.threshold, cache.mode,
+               config.alu_latency, config.sfu_latency)
+        kid = id(kernel)
+        per_kernel = _programs.get(kid)
+        if per_kernel is None:
+            per_kernel = _programs[kid] = {}
+            weakref.finalize(kernel, _programs.pop, kid, None)
+        program = per_kernel.get(key)
+        if program is None:
+            program = build_jit(cache, kernel.name)
+            per_kernel[key] = program
+        cache.jit = program
+    return program
+
+
+def build_jit(cache: DecodeCache, kernel_name: str = "") -> JitProgram:
+    """Generate, compile and index the closures for every run."""
+    global codegen_seconds, codegen_runs
+    started = time.perf_counter()
+    n = len(cache.entries)
+    issue: list = [None] * n
+    value: list = [None] * n
+    run_single: list = []
+    for run_id, run in enumerate(cache.runs):
+        issue_fns, value_fns, run_fn = _compile_run(
+            run, cache, kernel_name, run_id
+        )
+        for pos, step in enumerate(run.steps):
+            issue[step.pc] = issue_fns[pos]
+            value[step.pc] = value_fns[pos]
+        run_single.append(run_fn)
+        codegen_runs += 1
+    codegen_seconds += time.perf_counter() - started
+    return JitProgram(issue, value, run_single, kernel_name,
+                      bool(cache.runs))
+
+
+# --------------------------------------------------------------- codegen
+def _emit_alu(d, pos: int, out: str, ns: dict, lines: list, pad: str):
+    """Append source computing step ``pos``'s ALU result into ``out``.
+
+    ``rr`` must already be bound to ``warp._reg_rows`` in the enclosing
+    scope. The emitted code is the out-parameter handler of the opcode
+    with literal row indices; multi-step opcodes without a dedicated
+    inline form call their decoded handler (injected into ``ns``),
+    which is still one dynamic call instead of dict dispatch plus
+    attribute walks.
+    """
+    opcode = d.opcode
+    srcs = d.srcs
+    if opcode is Opcode.MOV:
+        lines.append(f"{pad}np.copyto({out}, rr[{srcs[0]}])")
+    elif opcode is Opcode.MOVI:
+        lines.append(f"{pad}{out}.fill({d.inst.imm!r})")
+    elif opcode in _INLINE_BINOPS:
+        uf = _INLINE_BINOPS[opcode]
+        lines.append(f"{pad}{uf}(rr[{srcs[0]}], rr[{srcs[1]}], out={out})")
+    elif opcode in _INLINE_IMMOPS:
+        uf, imm_of = _INLINE_IMMOPS[opcode]
+        lines.append(
+            f"{pad}{uf}(rr[{srcs[0]}], {imm_of(d.inst)!r}, out={out})"
+        )
+    elif opcode in (Opcode.IMAD, Opcode.FFMA):
+        lines.append(f"{pad}t = warp._scratch2")
+        lines.append(f"{pad}np.multiply(rr[{srcs[0]}], rr[{srcs[1]}], "
+                     f"out=t)")
+        lines.append(f"{pad}np.add(t, rr[{srcs[2]}], out={out})")
+    else:
+        # SEL / RCP / SQRT / S2R: staged multi-step handlers (or
+        # per-warp identity reads) keep their decoded handler.
+        ns[f"h{pos}"] = d.exec_out
+        ns[f"n{pos}"] = d.inst
+        row_args = ", ".join(f"rr[{reg}]" for reg in srcs)
+        tup = f"({row_args},)" if srcs else "()"
+        lines.append(f"{pad}h{pos}(n{pos}, {tup}, warp, {out})")
+
+
+def _emit_setp(d, pos: int, out: str, ns: dict, lines: list, pad: str):
+    ns[f"c{pos}"] = d.setp_cmp
+    if d.setp_imm is not None:
+        ns[f"m{pos}"] = d.setp_imm
+        rhs = f"m{pos}"
+    else:
+        rhs = f"rr[{d.srcs[1]}]"
+    lines.append(f"{pad}c{pos}(rr[{d.srcs[0]}], {rhs}, out={out})")
+
+
+def _emit_value_step(d, pos: int, ns: dict, lines: list):
+    """One step's value semantics, exactly ``execute_deferred_single``.
+
+    Assumes ``rr`` / ``pr`` row lists and ``full`` (unguarded steps
+    only) are bound in the enclosing function scope with capacity
+    already ensured.
+    """
+    from repro.sim.execute import EXEC_ALU
+
+    is_alu = d.exec_kind == EXEC_ALU
+    dst_row = f"rr[{d.dst}]" if is_alu else f"pr[{d.pdst}]"
+    if d.guard_preg is None:
+        lines.append("    if full:")
+        if is_alu:
+            _emit_alu(d, pos, dst_row, ns, lines, "        ")
+        else:
+            _emit_setp(d, pos, dst_row, ns, lines, "        ")
+        lines.append("    else:")
+        stage = "warp._scratch" if is_alu else "warp._bscratch"
+        lines.append(f"        s = {stage}")
+        if is_alu:
+            _emit_alu(d, pos, "s", ns, lines, "        ")
+        else:
+            _emit_setp(d, pos, "s", ns, lines, "        ")
+        lines.append(
+            f"        np.copyto({dst_row}, s, where=mask_arr)"
+        )
+    else:
+        guard_uf = "np.greater" if d.guard_negated else "np.logical_and"
+        lines.append("    g = warp._gscratch")
+        lines.append(
+            f"    {guard_uf}(mask_arr, pr[{d.guard_preg}], out=g)"
+        )
+        stage = "warp._scratch" if is_alu else "warp._bscratch"
+        lines.append(f"    s = {stage}")
+        if is_alu:
+            _emit_alu(d, pos, "s", ns, lines, "    ")
+        else:
+            _emit_setp(d, pos, "s", ns, lines, "    ")
+        lines.append(f"    np.copyto({dst_row}, s, where=g)")
+
+
+def _emit_capacity(max_reg: int, max_pred: int, lines: list):
+    if max_reg >= 0:
+        lines.append("    rr = warp._reg_rows")
+        lines.append(f"    if len(rr) <= {max_reg}:")
+        lines.append(f"        warp.reg({max_reg})")
+        lines.append("        rr = warp._reg_rows")
+    if max_pred >= 0:
+        lines.append("    pr = warp._pred_rows")
+        lines.append(f"    if len(pr) <= {max_pred}:")
+        lines.append(f"        warp.pred({max_pred})")
+        lines.append("        pr = warp._pred_rows")
+
+
+def _emit_value_fn(name: str, steps, positions, ns: dict, lines: list):
+    """A value function covering ``steps`` (one step, or a whole run)."""
+    max_reg = max((d.bind_max_reg for d in steps), default=-1)
+    max_pred = max((d.bind_max_pred for d in steps), default=-1)
+    lines.append(f"def {name}(warp, mask_int, mask_arr):")
+    _emit_capacity(max_reg, max_pred, lines)
+    if any(d.guard_preg is None for d in steps):
+        lines.append("    full = mask_int == warp.stack.full_mask")
+    for d, pos in zip(steps, positions):
+        _emit_value_step(d, pos, ns, lines)
+
+
+def _emit_sb_reg(reg: int, lines: list):
+    lines.append(f"        if {reg} in pending:")
+    lines.append(f"            rc = wb.get({reg})")
+    lines.append("            if rc is None:")
+    lines.append("                warp._sb_until = _SB_INF")
+    lines.append("                return SCOREBOARD")
+    lines.append("            if rc > now:")
+    lines.append("                warp._sb_until = rc")
+    lines.append("                return SCOREBOARD")
+    lines.append(f"            pending.discard({reg})")
+    lines.append(f"            del wb[{reg}]")
+
+
+def _emit_sb_pred(preg: int, lines: list):
+    lines.append(f"        if {preg} in pending_preds:")
+    lines.append(f"            rc = wbp.get({preg})")
+    lines.append("            if rc is None:")
+    lines.append("                warp._sb_until = _SB_INF")
+    lines.append("                return SCOREBOARD")
+    lines.append("            if rc > now:")
+    lines.append("                warp._sb_until = rc")
+    lines.append("                return SCOREBOARD")
+    lines.append(f"            pending_preds.discard({preg})")
+    lines.append(f"            del wbp[{preg}]")
+
+
+def _emit_issue_fn(d, pos: int, nb: int, threshold: int, lines: list):
+    """The planned fast path of ``_try_issue_batch`` for one step.
+
+    Returns ``ISSUED`` / ``SCOREBOARD`` with the reference engine's
+    exact side effects, or ``None`` — *before any stat or state
+    mutation beyond the idempotent lazy scoreboard clears* — when the
+    generic path must take over (off-bank registers, or a renaming
+    entry that would need an allocation).
+    """
+    pc = d.pc
+    lines.append(f"def _i{pos}(core, warp, now, top):")
+    lines.append("    pending = warp.pending_regs")
+    sb_regs = list(dict.fromkeys(d.srcs))
+    if d.dst is not None:
+        sb_regs.append(d.dst)
+    if sb_regs:
+        lines.append("    if pending:")
+        lines.append("        wb = warp._wb_reg_at")
+        for reg in sb_regs:
+            _emit_sb_reg(reg, lines)
+    sb_preds = [
+        p for p in dict.fromkeys((d.guard_preg, d.pdst)) if p is not None
+    ]
+    if sb_preds:
+        lines.append("    pending_preds = warp.pending_preds")
+        lines.append("    if pending_preds:")
+        lines.append("        wbp = warp._wb_pred_at")
+        for preg in sb_preds:
+            _emit_sb_pred(preg, lines)
+    lines.append("    if warp._offbank:")
+    lines.append("        return None")
+    releases = tuple(
+        reg for reg in (d.release_list or ()) if reg >= threshold
+    )
+    need_map = bool(d.above_srcs) or d.dst_above or bool(releases)
+    lines.append("    slot = warp.slot")
+    if need_map:
+        lines.append("    renaming = core.renaming")
+        lines.append("    warp_map = renaming._maps[slot]")
+    for reg in d.above_srcs:
+        lines.append(f"    if {reg} not in warp_map:")
+        lines.append("        return None")
+    lines.append("    stats = core.stats")
+    if d.lookup_conflict_extra:
+        lines.append(
+            f"    stats.renaming_conflict_cycles += "
+            f"{d.lookup_conflict_extra}"
+        )
+    lines.append(f"    smod = slot % {nb}")
+    if d.dst_above or releases:
+        lines.append("    regfile = core.regfile")
+    if d.dst_above:
+        # Inline allocation, line-for-line the reference planned path:
+        # a scan failing on ALLOC must leave identical side effects,
+        # and a fallback landing off the compiler bank patches the
+        # static plan and poisons this warp's fast path (the
+        # ``_offbank`` guard above).
+        lines.append("    wake = 0")
+        lines.append("    stats.renaming_reads += 1")
+        lines.append(f"    dst_phys = warp_map.get({d.dst})")
+        lines.append("    if dst_phys is None:")
+        lines.append(f"        dst_bank = {d.dst_bank_by_slotmod!r}[smod]")
+        lines.append("        result = regfile.allocate(dst_bank, now)")
+        lines.append("        if result is None:")
+        lines.append("            return ALLOC")
+        lines.append("        dst_phys, wake = result")
+        lines.append(f"        warp_map[{d.dst}] = dst_phys")
+        lines.append(
+            f"        renaming._released_live[slot].discard({d.dst})"
+        )
+        lines.append("        stats.renaming_writes += 1")
+        lines.append("        renaming.version += 1")
+        lines.append("        cta_id = renaming._cta_of_warp[slot]")
+        lines.append("        renaming.cta_allocated[cta_id] += 1")
+        lines.append("        ever = renaming._ever[slot]")
+        lines.append(f"        if {d.dst} not in ever:")
+        lines.append(f"            ever.add({d.dst})")
+        lines.append("            renaming.cta_assigned[cta_id] += 1")
+        lines.append("        if wake:")
+        lines.append("            stats.stall_wakeup_cycles += wake")
+        lines.append(
+            "        actual = dst_phys // regfile.regs_per_bank"
+        )
+        lines.append("        if actual != dst_bank:")
+        lines.append("            warp._offbank += 1")
+        lines.append("            bank_acc = stats.rf_bank_accesses")
+        lines.append("            bank_acc[actual] += 1")
+        lines.append("            bank_acc[dst_bank] -= 1")
+    lines.append(f"    if 0 <= warp._dq_tail >= {pc}:")
+    lines.append("        core._flush_batch(warp._dq_tail)")
+    lines.append("    dq = core._dq")
+    lines.append(f"    group = dq.get({pc})")
+    lines.append("    if group is None:")
+    lines.append("        group = ([], [], {})")
+    lines.append(f"        dq[{pc}] = group")
+    lines.append("    group[0].append(warp)")
+    lines.append("    group[1].append(top.mask)")
+    lines.append("    counts = group[2]")
+    lines.append("    counts[smod] = counts.get(smod, 0) + 1")
+    lines.append(f"    warp._dq_tail = {pc}")
+    lines.append("    warp.last_issue_cycle = now")
+    if releases:
+        lines.append("    rel_live = renaming._released_live[slot]")
+        lines.append("    rcta_id = renaming._cta_of_warp[slot]")
+        for reg in releases:
+            bank_by_smod = tuple(
+                (reg + s) % nb for s in range(nb)
+            )
+            lines.append(f"    phys = warp_map.get({reg})")
+            lines.append("    if phys is None:")
+            lines.append("        stats.wasted_releases += 1")
+            lines.append("    else:")
+            lines.append("        stats.renaming_writes += 1")
+            lines.append(f"        del warp_map[{reg}]")
+            lines.append("        regfile.free(phys, now)")
+            lines.append("        renaming.version += 1")
+            lines.append("        renaming.cta_allocated[rcta_id] -= 1")
+            lines.append(f"        rel_live.add({reg})")
+            if d.dst_above:
+                # The inline allocation above may have just gone
+                # off-bank; the reference decrements when a released
+                # off-bank register leaves.
+                lines.append("        if warp._offbank and (")
+                lines.append(
+                    "            phys // regfile.regs_per_bank"
+                    f" != {bank_by_smod!r}[smod]"
+                )
+                lines.append("        ):")
+                lines.append("            warp._offbank -= 1")
+    lines.append(f"    top.pc = {pc + 1}")
+    if d.dst_above:
+        lines.append(f"    rc = now + {d.wb_off_by_slotmod!r}[smod] + wake")
+    else:
+        lines.append(f"    rc = now + {d.wb_off_by_slotmod!r}[smod]")
+    if d.dst is not None:
+        lines.append(f"    pending.add({d.dst})")
+        lines.append(f"    warp._wb_reg_at[{d.dst}] = rc")
+    if d.pdst is not None:
+        lines.append(f"    warp.pending_preds.add({d.pdst})")
+        lines.append(f"    warp._wb_pred_at[{d.pdst}] = rc")
+    lines.append("    return ISSUED")
+
+
+def _compile_run(run: BlockRun, cache: DecodeCache, kernel_name: str,
+                 run_id: int):
+    """Generate one source module for ``run`` and compile it once."""
+    from repro.sim.core import _SB_INF, _Issue
+
+    ns: dict = {
+        "np": np,
+        "_SB_INF": _SB_INF,
+        "ISSUED": _Issue.ISSUED,
+        "SCOREBOARD": _Issue.SCOREBOARD,
+        "ALLOC": _Issue.ALLOC,
+    }
+    lines: list[str] = []
+    steps = run.steps
+    positions = list(range(len(steps)))
+    for pos, d in enumerate(steps):
+        _emit_issue_fn(d, pos, cache.num_banks, cache.threshold, lines)
+        _emit_value_fn(f"_v{pos}", (d,), (pos,), ns, lines)
+    _emit_value_fn("_r", steps, positions, ns, lines)
+    source = "\n".join(lines) + "\n"
+    filename = f"<jit:{kernel_name or 'kernel'}:run{run_id}" \
+               f"@pc{run.start_pc}>"
+    exec(compile(source, filename, "exec"), ns)
+    issue_fns = [ns[f"_i{pos}"] for pos in positions]
+    value_fns = [ns[f"_v{pos}"] for pos in positions]
+    return issue_fns, value_fns, ns["_r"]

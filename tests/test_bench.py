@@ -9,6 +9,7 @@ import pytest
 from repro.analysis.bench import (
     DEFAULT_WORKLOADS,
     GATE_BATCH_SPEEDUP_FLOOR,
+    GATE_JIT_SPEEDUP_FLOOR,
     GATE_PIPELINE_FLOOR,
     GATE_SPEEDUP_FLOOR,
     GATE_VECTOR_SPEEDUP_FLOOR,
@@ -75,6 +76,22 @@ class TestRunBenchmark:
             "cycles_per_second"
         ]
         assert flags["batch_speedup"] > 0
+        # ... and the generic no-JIT issue path (v6).
+        assert flags["wall_seconds_nojit"] > 0
+        assert flags["cycles_per_second_jit"] == flags[
+            "cycles_per_second"
+        ]
+        assert flags["jit_speedup"] > 0
+        # v6 variance fields on every record, mode and workload alike.
+        for mode in MODES:
+            record = data["modes"][mode]
+            assert len(record["wall_samples"]) == record["runs"]
+            assert record["wall_min"] == min(record["wall_samples"])
+            assert record["wall_stddev"] >= 0.0
+            assert record["wall_median"] > 0.0
+            wrec = record["workloads"]["vectoradd"]
+            assert len(wrec["wall_samples"]) == wrec["runs"]
+            assert wrec["wall_seconds"] == wrec["wall_min"]
         assert validate_bench(data) == []
 
     def test_default_samples_are_stable(self):
@@ -122,10 +139,36 @@ class TestValidate:
             "modes.flags.vector_speedup" in e for e in validate_bench(data)
         )
 
+    def test_rejects_missing_jit_fields(self):
+        data = self._valid()
+        del data["modes"]["flags"]["jit_speedup"]
+        assert any(
+            "modes.flags.jit_speedup" in e for e in validate_bench(data)
+        )
+
+    def test_rejects_sample_count_mismatch(self):
+        data = self._valid()
+        data["modes"]["flags"]["wall_samples"].append(1.0)
+        assert any(
+            "modes.flags.wall_samples" in e for e in validate_bench(data)
+        )
+
+    def test_rejects_memoized_compile_timing(self):
+        # compile_seconds == 0.0 is the signature of the pre-v6 bug:
+        # the timing pass was answered from the result-cache memo.
+        data = self._valid()
+        data["modes"]["flags"]["workloads"]["vectoradd"][
+            "compile_seconds"
+        ] = 0.0
+        assert any(
+            "compile_seconds" in e and "memoized" in e
+            for e in validate_bench(data)
+        )
+
 
 def _synthetic_result(
     base_cps=100.0, flags_cps=80.0, redefine_cps=70.0, shrink_cps=300.0,
-    speedup=3.0, vector_speedup=1.5, batch_speedup=1.0,
+    speedup=3.0, vector_speedup=1.5, batch_speedup=1.0, jit_speedup=1.0,
 ):
     """Minimal two-file comparison fixture (no simulation needed)."""
     modes = {}
@@ -142,6 +185,10 @@ def _synthetic_result(
             "skipped_cycles": 50,
             "skipped_fraction": 0.5,
             "runs": 1,
+            "wall_samples": [1.0],
+            "wall_stddev": 0.0,
+            "wall_min": 1.0,
+            "wall_median": 1.0,
         }
     modes["shrink"].update(
         wall_seconds_noskip=speedup,
@@ -155,6 +202,9 @@ def _synthetic_result(
         wall_seconds_nobatch=batch_speedup,
         cycles_per_second_batch=flags_cps,
         batch_speedup=batch_speedup,
+        wall_seconds_nojit=jit_speedup,
+        cycles_per_second_jit=flags_cps,
+        jit_speedup=jit_speedup,
     )
     return {
         "schema": SCHEMA, "quick": False, "scale": 1.0, "waves": 2,
@@ -191,6 +241,11 @@ class TestRepeat:
                 == once["modes"][mode]["cycles"]
             )
             assert twice["modes"][mode]["runs"] == 2
+            # v6: both raw samples survive, and the headline wall is
+            # their minimum.
+            samples = twice["modes"][mode]["wall_samples"]
+            assert len(samples) == 2
+            assert twice["modes"][mode]["wall_seconds"] == min(samples)
 
     def test_cli_repeat_flag(self, tmp_path):
         out = tmp_path / "bench.json"
@@ -287,6 +342,20 @@ class TestCompareAndGate:
         old = _synthetic_result()
         del old["modes"]["flags"]["batch_speedup"]
         new = _synthetic_result(batch_speedup=0.5)
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_gate_fails_when_trace_jit_regresses(self):
+        old = _synthetic_result()
+        new = _synthetic_result(
+            jit_speedup=GATE_JIT_SPEEDUP_FLOOR - 0.1
+        )
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("trace-JIT" in e for e in errors)
+
+    def test_gate_skips_jit_check_for_pre_v6_reference(self):
+        old = _synthetic_result()
+        del old["modes"]["flags"]["jit_speedup"]
+        new = _synthetic_result(jit_speedup=0.5)
         assert gate_bench(old, new, pct=0.30) == []
 
     def test_gate_ignores_pipeline_when_reference_lacks_it(self):
@@ -390,6 +459,8 @@ class TestRunnerProfile:
         assert runner_main(["--quick", "--profile", "fig07"]) == 0
         out = capsys.readouterr().out
         assert "cumulative" in out
+        assert "jit codegen:" in out
+        assert "compiled block runs" in out
         assert "profile: profile.pstats" in out
         assert (tmp_path / "profile.pstats").exists()
 

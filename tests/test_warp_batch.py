@@ -239,10 +239,13 @@ class TestPlumbing:
     def test_env_flag_selects_engine(self, monkeypatch):
         # Pin the vector engine on: batching requires it, and this
         # test must bind the batch paths even on the CI leg that runs
-        # the whole suite under REPRO_VECTOR_LANES=0.
+        # the whole suite under REPRO_VECTOR_LANES=0. The trace JIT
+        # (which binds its own tick on top of the batch engine) is
+        # pinned off — it has its own plumbing tests.
         monkeypatch.setenv("REPRO_DECODE_CACHE", "1")
         monkeypatch.setenv("REPRO_VECTOR_LANES", "1")
         monkeypatch.setenv("REPRO_WARP_BATCH", "1")
+        monkeypatch.setenv("REPRO_TRACE_JIT", "0")
         core = self._core()
         assert core.warp_batch is True
         assert core._batch_bufs is not None
