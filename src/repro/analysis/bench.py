@@ -56,6 +56,15 @@ the plan's dedup ratio and a cold-vs-warm output identity check land
 in the ``pipeline`` section of the result file. The mode matrix above
 deliberately calls the raw ``simulate`` so its numbers always measure
 real work; the pipeline section is where caching is measured.
+
+``--service`` benchmarks the simulation daemon
+(:mod:`repro.service`): a fresh daemon is spawned on a temporary
+socket and N concurrent clients replay a zipf-distributed request mix
+against it (:mod:`repro.service.loadgen`); the ``service`` section
+records the served wall clock against the no-cache sequential
+baseline, the single-flight dedupe factor, and the response
+verification result (every served payload must match a direct run per
+``SimStats`` field).
 """
 
 from __future__ import annotations
@@ -91,8 +100,13 @@ from repro.workloads.suite import Workload, get_workload
 #: trace JIT off (``REPRO_TRACE_JIT=0``) adding
 #: ``wall_seconds_nojit`` / ``cycles_per_second_jit`` /
 #: ``jit_speedup``, and times compilation with the result cache
-#: bypassed so ``compile_seconds`` can never be a memo lookup.
-SCHEMA = "repro-bench-hotpath/6"
+#: bypassed so ``compile_seconds`` can never be a memo lookup. v7 adds
+#: the optional ``service`` section (``--service``): the simulation
+#: daemon under zipf-distributed concurrent load — served wall clock
+#: vs. the no-cache sequential baseline, single-flight dedupe factors,
+#: and the count of responses that failed bit-identity verification
+#: against direct runs.
+SCHEMA = "repro-bench-hotpath/7"
 
 #: The fixed sample: small/medium kernels spanning ALU-heavy
 #: (matrixmul), divergent (blackscholes) and barrier-heavy (reduction)
@@ -166,6 +180,22 @@ PIPELINE_EXPERIMENTS = ("fig10", "fig14", "fig11b", "schedulers")
 #: startup-ish fixed costs dilute the ratio) stay green while a broken
 #: cache (warm ~= cold) still fails loudly.
 GATE_PIPELINE_FLOOR = 3.0
+
+#: Minimum single-flight dedupe factor ((executed + coalesced) /
+#: executed) the service gate accepts. The load mix packs duplicate
+#: requests into the same dispatch wave (a flash crowd), so coalescing
+#: is deterministic, not a race: the committed full run measures
+#: ~3.3x and the CI quick mix ~2.6x. Below 2.0x the daemon is
+#: executing duplicates it should have coalesced.
+GATE_SERVICE_DEDUPE_FLOOR = 2.0
+
+#: Minimum served-throughput speedup (no-cache sequential baseline
+#: over served wall clock) the service gate accepts. The committed
+#: full run measures above the issue's 5x acceptance bar; the floor
+#: sits below it so small --quick runs (fixed per-request overhead,
+#: smaller kernels) stay green while a daemon that stopped caching or
+#: coalescing still fails loudly.
+GATE_SERVICE_SPEEDUP_FLOOR = 3.0
 
 
 def _wave_cap(workload: Workload, waves: int) -> int:
@@ -569,6 +599,25 @@ _REQUIRED_PIPELINE_FIELDS = (
     ("identical", bool),
 )
 
+#: Fields the optional ``service`` section (v7) must carry when
+#: present.
+_REQUIRED_SERVICE_FIELDS = (
+    ("clients", int),
+    ("requests", int),
+    ("unique_flows", int),
+    ("zipf_s", (int, float)),
+    ("wall_seconds", (int, float)),
+    ("requests_per_second", (int, float)),
+    ("baseline_seconds", (int, float)),
+    ("throughput_speedup", (int, float)),
+    ("executed", int),
+    ("coalesced", int),
+    ("cache_hit_requests", int),
+    ("single_flight_dedupe", (int, float)),
+    ("request_dedupe", (int, float)),
+    ("mismatches", int),
+)
+
 
 def validate_bench(data: object) -> list[str]:
     """Structural schema check; returns a list of error strings."""
@@ -664,6 +713,32 @@ def validate_bench(data: object) -> list[str]:
                         f"{types if isinstance(types, type) else 'number'},"
                         f" got {value!r}"
                     )
+    service = data.get("service")
+    if service is not None:
+        if not isinstance(service, dict):
+            errors.append("'service' must be an object when present")
+        else:
+            for field, types in _REQUIRED_SERVICE_FIELDS:
+                value = service.get(field)
+                if not isinstance(value, types) or isinstance(value, bool):
+                    errors.append(
+                        f"service.{field}: expected "
+                        f"{types if isinstance(types, type) else 'number'},"
+                        f" got {value!r}"
+                    )
+            executed = service.get("executed")
+            coalesced = service.get("coalesced")
+            hits = service.get("cache_hit_requests")
+            requests = service.get("requests")
+            if all(isinstance(v, int) for v in
+                   (executed, coalesced, hits, requests)):
+                if executed + coalesced + hits != requests:
+                    errors.append(
+                        "service: executed + coalesced + "
+                        "cache_hit_requests "
+                        f"({executed} + {coalesced} + {hits}) != "
+                        f"requests ({requests})"
+                    )
     return errors
 
 
@@ -747,6 +822,19 @@ def compare_bench(old: dict, new: dict) -> str:
         lines.append(
             f"pipeline warm-cache speedup: "
             f"old {fmt(old_pipe)}  new {fmt(new_pipe)}"
+        )
+    old_svc = old.get("service") or {}
+    new_svc = new.get("service") or {}
+    if old_svc or new_svc:
+        lines.append(
+            f"service single-flight dedupe: "
+            f"old {fmt(old_svc.get('single_flight_dedupe'))}  "
+            f"new {fmt(new_svc.get('single_flight_dedupe'))}"
+        )
+        lines.append(
+            f"service throughput vs no-cache baseline: "
+            f"old {fmt(old_svc.get('throughput_speedup'))}  "
+            f"new {fmt(new_svc.get('throughput_speedup'))}"
         )
     return "\n".join(lines)
 
@@ -857,6 +945,36 @@ def gate_bench(old: dict, new: dict, pct: float) -> list[str]:
                     "gate: warm pipeline pass output differs from the "
                     "cold pass (cached results are not bit-identical)"
                 )
+    # The service section is gated only when the reference file has one
+    # (pre-v7 files gate cleanly without it).
+    if old.get("service") is not None:
+        service = new.get("service")
+        if service is None:
+            errors.append(
+                "gate: reference has a service section but the new "
+                "results lack one (run with --service)"
+            )
+        else:
+            dedupe = service.get("single_flight_dedupe") or 0.0
+            if dedupe < GATE_SERVICE_DEDUPE_FLOOR:
+                errors.append(
+                    f"gate: service single-flight dedupe "
+                    f"{dedupe:.2f}x below floor "
+                    f"{GATE_SERVICE_DEDUPE_FLOOR:.1f}x"
+                )
+            speedup = service.get("throughput_speedup") or 0.0
+            if speedup < GATE_SERVICE_SPEEDUP_FLOOR:
+                errors.append(
+                    f"gate: service throughput {speedup:.2f}x the "
+                    f"no-cache baseline, below floor "
+                    f"{GATE_SERVICE_SPEEDUP_FLOOR:.1f}x"
+                )
+            if service.get("mismatches") != 0:
+                errors.append(
+                    f"gate: {service.get('mismatches')} served "
+                    "response(s) differ from direct runs (must be "
+                    "bit-identical per SimStats field)"
+                )
     return errors
 
 
@@ -916,6 +1034,19 @@ def _report(data: dict) -> str:
             f"({pipeline['speedup']:.1f}x), output identical: "
             f"{'yes' if pipeline['identical'] else 'NO'}"
         )
+    service = data.get("service")
+    if service is not None:
+        lines.append(
+            f"service ({service['clients']} clients, "
+            f"{service['requests']} requests / "
+            f"{service['unique_flows']} unique flows, "
+            f"zipf s={service['zipf_s']}): "
+            f"served {service['wall_seconds']:.2f}s vs no-cache "
+            f"baseline {service['baseline_seconds']:.2f}s "
+            f"({service['throughput_speedup']:.1f}x); single-flight "
+            f"dedupe {service['single_flight_dedupe']:.2f}x, "
+            f"{service['mismatches']} mismatches"
+        )
     return "\n".join(lines)
 
 
@@ -955,6 +1086,11 @@ def main(argv: list[str] | None = None) -> int:
         "--pipeline", action="store_true",
         help="also benchmark the result-cache pipeline (cold vs warm "
         "run of a fixed experiment sample) into the 'pipeline' section",
+    )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="also benchmark the simulation daemon under concurrent "
+        "zipf load (spawns a fresh daemon) into the 'service' section",
     )
     parser.add_argument(
         "--out", default="BENCH_hotpath.json", metavar="PATH",
@@ -1013,6 +1149,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     if args.pipeline:
         data["pipeline"] = run_pipeline_bench(quick=args.quick)
+    if args.service:
+        from repro.service.loadgen import run_service_bench
+
+        data["service"] = run_service_bench(quick=args.quick)
     print(_report(data))
     out = pathlib.Path(args.out)
     out.write_text(json.dumps(data, indent=2) + "\n")

@@ -188,12 +188,12 @@ def run_flow_exporting(spec: tuple) -> tuple[object, list]:
     return result, cache.take_exports()
 
 
-def spec_fingerprint(spec: tuple) -> str:
-    """Content fingerprint of one sweep spec, with flow defaults applied.
+def normalize_spec(spec: tuple) -> tuple[str, Workload, dict]:
+    """One sweep spec with its flow defaults applied.
 
-    Raises :class:`TypeError` if the kwargs contain something the
-    fingerprinter does not understand; :func:`run_sweep` treats that
-    spec as unique.
+    The canonical ``(flow, workload, kwargs)`` shape behind both the
+    dedupe fingerprint and the simulation service's wire schema: two
+    specs that run the same simulation normalize identically.
     """
     flow, workload, *rest = spec
     kwargs = dict(rest[0]) if rest else {}
@@ -201,6 +201,17 @@ def spec_fingerprint(spec: tuple) -> str:
         for name, value in _FLOW_DEFAULTS[flow]().items():
             if kwargs.get(name) is None:
                 kwargs[name] = value
+    return flow, workload, kwargs
+
+
+def spec_fingerprint(spec: tuple) -> str:
+    """Content fingerprint of one sweep spec, with flow defaults applied.
+
+    Raises :class:`TypeError` if the kwargs contain something the
+    fingerprinter does not understand; :func:`run_sweep` treats that
+    spec as unique.
+    """
+    flow, workload, kwargs = normalize_spec(spec)
     return flow_spec_key(flow, workload, kwargs)
 
 

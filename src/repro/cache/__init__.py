@@ -18,6 +18,8 @@ Configuration, in precedence order:
 * environment: ``REPRO_RESULT_CACHE`` — ``0`` disables caching
   entirely, ``1``/unset enables the memory tier only, any other value
   is used as the on-disk directory path.
+  ``REPRO_RESULT_CACHE_MAX_BYTES`` (plain bytes or ``64k``/``32m``/
+  ``2g``) caps the disk tier with LRU eviction; unset means unbounded.
 
 See ``docs/INTERNALS.md`` ("Result cache & sweep planner") for the key
 derivation and invalidation rules.
@@ -36,7 +38,7 @@ from repro.cache.fingerprint import (
     simulate_key,
 )
 from repro.cache.memo import cached_compile_kernel, cached_simulate
-from repro.cache.store import MISS, CacheCounters, ResultCache
+from repro.cache.store import MISS, CacheCounters, ResultCache, parse_size
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -52,6 +54,7 @@ __all__ = [
     "fingerprint",
     "flow_spec_key",
     "get_cache",
+    "parse_size",
     "reset_cache",
     "simulate_key",
     "swap_cache",
@@ -64,14 +67,21 @@ _TRUTHY = ("", "1", "on", "true", "yes")
 _default: ResultCache | None = None
 
 
+def _max_bytes_from_env() -> int | None:
+    raw = os.environ.get("REPRO_RESULT_CACHE_MAX_BYTES", "").strip()
+    if not raw or raw.lower() in _FALSY:
+        return None
+    return parse_size(raw)
+
+
 def _cache_from_env() -> ResultCache:
     raw = os.environ.get("REPRO_RESULT_CACHE", "").strip()
     low = raw.lower()
     if low in _FALSY:
         return ResultCache(enabled=False)
     if low in _TRUTHY:
-        return ResultCache()
-    return ResultCache(directory=raw)
+        return ResultCache(max_bytes=_max_bytes_from_env())
+    return ResultCache(directory=raw, max_bytes=_max_bytes_from_env())
 
 
 def get_cache() -> ResultCache:
@@ -85,10 +95,20 @@ def get_cache() -> ResultCache:
 def configure_cache(
     directory: str | os.PathLike | None = None,
     enabled: bool = True,
+    max_bytes: int | None = None,
 ) -> ResultCache:
-    """Replace the default cache with an explicit configuration."""
+    """Replace the default cache with an explicit configuration.
+
+    ``max_bytes=None`` falls back to ``REPRO_RESULT_CACHE_MAX_BYTES``
+    so a CLI that only relocates the directory keeps the environment's
+    disk cap.
+    """
     global _default
-    _default = ResultCache(directory=directory, enabled=enabled)
+    if max_bytes is None:
+        max_bytes = _max_bytes_from_env()
+    _default = ResultCache(
+        directory=directory, enabled=enabled, max_bytes=max_bytes
+    )
     return _default
 
 

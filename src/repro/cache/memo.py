@@ -70,11 +70,18 @@ def cached_simulate(
     hit = cache.get(key)
     if hit is not MISS:
         return hit
-    result = simulate(
-        kernel.clone(), launch, config,
-        jobs=jobs, cycle_skip=cycle_skip, **kwargs,
-    )
-    cache.put(key, result)
+    # Pin the key while simulating so a concurrent store's LRU sweep
+    # (daemon workers share the disk directory) cannot evict the entry
+    # between our put and the caller receiving it.
+    cache.pin(key)
+    try:
+        result = simulate(
+            kernel.clone(), launch, config,
+            jobs=jobs, cycle_skip=cycle_skip, **kwargs,
+        )
+        cache.put(key, result)
+    finally:
+        cache.unpin(key)
     return result
 
 

@@ -48,6 +48,21 @@ class SweepPlan:
             return 1.0
         return len(self.declared) / len(self.unique)
 
+    def requests(self) -> list[dict]:
+        """The unique specs as service ``simulate`` wire requests.
+
+        Request ``id`` is the spec's position in :attr:`unique`, so
+        responses correlate back to specs. This is the bridge between
+        ``runner --submit`` and a simulation daemon: a plan's worth of
+        flows converts to protocol messages mechanically.
+        """
+        from repro.service.protocol import spec_to_request
+
+        return [
+            spec_to_request(spec, id=index)
+            for index, spec in enumerate(self.unique)
+        ]
+
     def describe(self) -> str:
         skipped = (
             f"; no flow declarations: {', '.join(self.unplanned)}"

@@ -39,7 +39,13 @@ import re
 import sys
 import time
 
-from repro.cache import cache_env_value, configure_cache, get_cache, reset_cache
+from repro.cache import (
+    cache_env_value,
+    configure_cache,
+    get_cache,
+    parse_size,
+    reset_cache,
+)
 from repro.errors import ConfigError
 from repro.experiments.planner import collect_plan, execute_plan
 from repro.experiments.registry import EXPERIMENTS, get_experiment
@@ -77,12 +83,23 @@ def _configure_cache_from_args(args):
     """Install the cache the CLI flags ask for; returns it."""
     if args.no_cache:
         return configure_cache(enabled=False)
+    max_bytes = (
+        parse_size(args.max_bytes) if args.max_bytes is not None else None
+    )
     if args.cache_dir is not None:
-        return configure_cache(directory=args.cache_dir)
+        return configure_cache(directory=args.cache_dir,
+                               max_bytes=max_bytes)
     if "REPRO_RESULT_CACHE" in os.environ:
         reset_cache()
-        return get_cache()
-    return configure_cache(directory=DEFAULT_CACHE_DIR)
+        cache = get_cache()
+        if max_bytes is not None and cache.enabled:
+            # Keep the env-selected location, apply the CLI's cap.
+            cache = configure_cache(
+                directory=cache.directory, max_bytes=max_bytes
+            )
+        return cache
+    return configure_cache(directory=DEFAULT_CACHE_DIR,
+                           max_bytes=max_bytes)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -125,6 +142,23 @@ def main(argv: list[str] | None = None) -> int:
              f"{DEFAULT_CACHE_DIR})",
     )
     parser.add_argument(
+        "--max-bytes", metavar="SIZE", default=None,
+        help="cap the disk cache with LRU eviction (e.g. 64m; default: "
+             "$REPRO_RESULT_CACHE_MAX_BYTES or unbounded)",
+    )
+    parser.add_argument(
+        "--serve", metavar="ADDR", nargs="?", const="", default=None,
+        help="run as a simulation daemon on ADDR (unix path or "
+             ":port; default .repro-service.sock) instead of running "
+             "experiments; --jobs sets the worker pool",
+    )
+    parser.add_argument(
+        "--submit", metavar="ADDR", default=None,
+        help="execute the deduplicated simulation plan on a running "
+             "daemon instead of locally, then replay the experiments "
+             "(share --cache-dir with the daemon for a warm replay)",
+    )
+    parser.add_argument(
         "--no-cache", action="store_true",
         help="disable the result cache; every simulation reruns, and "
              "--jobs falls back to one worker per experiment",
@@ -159,6 +193,23 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
 
     cache = _configure_cache_from_args(args)
+
+    if args.serve is not None:
+        if args.submit is not None:
+            parser.error("--serve and --submit are mutually exclusive")
+        if args.experiments:
+            parser.error("--serve takes no experiment ids")
+        if not cache.enabled:
+            parser.error("--serve needs the result cache (drop "
+                         "--no-cache)")
+        from repro.service.client import DEFAULT_SOCKET
+        from repro.service.daemon import serve_cli
+
+        return serve_cli(args.serve or DEFAULT_SOCKET, cache, jobs)
+    if args.submit is not None and args.no_cache:
+        parser.error("--submit needs the result cache (drop --no-cache)")
+    if args.submit is not None and args.profile:
+        parser.error("--submit and --profile are mutually exclusive")
 
     def report(outcome: ExperimentOutcome) -> None:
         result = outcome.result
@@ -214,7 +265,35 @@ def main(argv: list[str] | None = None) -> int:
             print(f"profile: {out}")
         else:
             plan = collect_plan(names, options) if cache.enabled else None
-            if plan is not None and plan.unique:
+            if args.submit is not None and plan is not None and plan.unique:
+                # Remote path: a running daemon executes the unique
+                # set (coalescing with whatever else it is serving);
+                # the replay is warm when daemon and runner share a
+                # disk cache directory, and recomputes locally
+                # otherwise.
+                from repro.service.client import (
+                    format_address,
+                    submit_requests,
+                )
+
+                print(plan.describe())
+                submit_started = time.time()
+                responses = submit_requests(args.submit, plan.requests())
+                served: dict[str, int] = {}
+                for response in responses:
+                    kind = str(response.get("served", "?"))
+                    served[kind] = served.get(kind, 0) + 1
+                summary = ", ".join(
+                    f"{count} {kind}"
+                    for kind, count in sorted(served.items())
+                )
+                print(
+                    f"plan served by {format_address(args.submit)} in "
+                    f"{time.time() - submit_started:.1f}s ({summary})"
+                )
+                print()
+                run_serial(specs)
+            elif plan is not None and plan.unique:
                 # Planned path: dedupe the union of declared flows,
                 # run each unique simulation exactly once (through
                 # the pool when --jobs asks), then replay the

@@ -99,6 +99,11 @@ class Workload:
     kernel: Kernel
     launch: LaunchConfig
     table1: Table1Row
+    #: The loop-scale factor the kernel was built at. The kernel
+    #: content already reflects it; keeping the number itself makes a
+    #: workload wire-encodable as ``(name, scale)`` — the simulation
+    #: service rebuilds the identical workload on the other side.
+    scale: float = 1.0
 
 
 def all_workload_names() -> tuple[str, ...]:
@@ -124,4 +129,6 @@ def get_workload(name: str, scale: float = 1.0) -> Workload:
         threads_per_cta=row.threads_per_cta,
         conc_ctas_per_sm=row.conc_ctas_per_sm,
     )
-    return Workload(name=key, kernel=kernel, launch=launch, table1=row)
+    return Workload(
+        name=key, kernel=kernel, launch=launch, table1=row, scale=scale
+    )

@@ -11,6 +11,8 @@ from repro.analysis.bench import (
     GATE_BATCH_SPEEDUP_FLOOR,
     GATE_JIT_SPEEDUP_FLOOR,
     GATE_PIPELINE_FLOOR,
+    GATE_SERVICE_DEDUPE_FLOOR,
+    GATE_SERVICE_SPEEDUP_FLOOR,
     GATE_SPEEDUP_FLOOR,
     GATE_VECTOR_SPEEDUP_FLOOR,
     MODES,
@@ -224,6 +226,30 @@ def _synthetic_pipeline(speedup=8.0, identical=True):
     }
 
 
+def _synthetic_service(dedupe=3.0, speedup=6.0, mismatches=0):
+    """A well-formed v7 ``service`` section (no daemon needed)."""
+    executed = 20
+    coalesced = int(executed * (dedupe - 1.0))
+    requests = 60
+    return {
+        "clients": 8,
+        "requests": requests,
+        "unique_flows": 20,
+        "zipf_s": 1.1,
+        "wall_seconds": 1.0,
+        "requests_per_second": float(requests),
+        "baseline_seconds": speedup,
+        "throughput_speedup": speedup,
+        "executed": executed,
+        "coalesced": coalesced,
+        "cache_hit_requests": requests - executed - coalesced,
+        "single_flight_dedupe": dedupe,
+        "request_dedupe": requests / executed,
+        "verified": True,
+        "mismatches": mismatches,
+    }
+
+
 class TestRepeat:
     def test_best_of_n_keeps_single_run_counters(self):
         once = run_benchmark(
@@ -393,6 +419,91 @@ class TestCompareAndGate:
         new = _synthetic_result()
         new["pipeline"] = _synthetic_pipeline(speedup=6.0)
         assert gate_bench(old, new, pct=0.30) == []
+
+
+class TestServiceSection:
+    def test_validate_accepts_missing_service(self):
+        assert validate_bench(_synthetic_result()) == []
+
+    def test_validate_accepts_healthy_service(self):
+        data = _synthetic_result()
+        data["service"] = _synthetic_service()
+        assert validate_bench(data) == []
+
+    def test_validate_rejects_corrupt_service(self):
+        data = _synthetic_result()
+        data["service"] = _synthetic_service()
+        data["service"]["single_flight_dedupe"] = "lots"
+        assert any(
+            "service.single_flight_dedupe" in e
+            for e in validate_bench(data)
+        )
+        data["service"] = [1, 2]
+        assert any("'service'" in e for e in validate_bench(data))
+
+    def test_validate_rejects_broken_request_accounting(self):
+        # executed + coalesced + cache_hit_requests must equal requests
+        # — the daemon counters account for every request exactly once.
+        data = _synthetic_result()
+        data["service"] = _synthetic_service()
+        data["service"]["executed"] += 1
+        assert any(
+            "cache_hit_requests" in e for e in validate_bench(data)
+        )
+
+    def test_gate_ignores_service_when_reference_lacks_it(self):
+        old = _synthetic_result()
+        new = _synthetic_result()
+        new["service"] = _synthetic_service(dedupe=1.0, speedup=0.5)
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_gate_requires_service_when_reference_has_it(self):
+        old = _synthetic_result()
+        old["service"] = _synthetic_service()
+        new = _synthetic_result()
+        errors = gate_bench(old, new, pct=0.30)
+        assert any("--service" in e for e in errors)
+
+    def test_gate_fails_degraded_service(self):
+        old = _synthetic_result()
+        old["service"] = _synthetic_service()
+        weak_dedupe = _synthetic_result()
+        weak_dedupe["service"] = _synthetic_service(
+            dedupe=GATE_SERVICE_DEDUPE_FLOOR - 0.5
+        )
+        assert any(
+            "dedupe" in e
+            for e in gate_bench(old, weak_dedupe, pct=0.30)
+        )
+        slow = _synthetic_result()
+        slow["service"] = _synthetic_service(
+            speedup=GATE_SERVICE_SPEEDUP_FLOOR - 0.5
+        )
+        assert any(
+            "throughput" in e for e in gate_bench(old, slow, pct=0.30)
+        )
+        unequal = _synthetic_result()
+        unequal["service"] = _synthetic_service(mismatches=3)
+        assert any(
+            "bit-identical" in e
+            for e in gate_bench(old, unequal, pct=0.30)
+        )
+
+    def test_gate_passes_healthy_service(self):
+        old = _synthetic_result()
+        old["service"] = _synthetic_service()
+        new = _synthetic_result()
+        new["service"] = _synthetic_service(dedupe=2.5, speedup=4.0)
+        assert gate_bench(old, new, pct=0.30) == []
+
+    def test_compare_reports_service_deltas(self):
+        old = _synthetic_result()
+        old["service"] = _synthetic_service(dedupe=3.0)
+        new = _synthetic_result()
+        new["service"] = _synthetic_service(dedupe=2.5)
+        table = compare_bench(old, new)
+        assert "single-flight dedupe" in table
+        assert "throughput" in table
 
 
 class TestCli:

@@ -13,9 +13,15 @@ from __future__ import annotations
 
 import dataclasses
 import importlib
+import os
+import pathlib
 import pickle
+import tempfile
+import time
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 # The package re-exports the fingerprint() function under the same
 # name as the submodule, so fetch the module object explicitly.
@@ -30,6 +36,7 @@ from repro.cache import (
     fingerprint,
     simulate_key,
 )
+from repro.cache.store import TMP_SWEEP_AGE_SECONDS, parse_size
 from repro.isa import assemble
 from repro.sim.gpu import simulate
 from repro.sim.stats import SimStats
@@ -344,3 +351,218 @@ class TestCachedCompile:
                 direct = result
             else:
                 assert result.stats == direct.stats
+
+
+# --------------------------------------------------------------------------
+# Disk-tier robustness: corruption-as-miss, crash-leftover sweep, LRU cap.
+
+
+def _entry_bytes() -> int:
+    """On-disk size of one equal-sized test entry (``b"x" * 100``)."""
+    return len(pickle.dumps(b"x" * 100, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _disk_keys(directory) -> set[str]:
+    return {p.stem for p in pathlib.Path(directory).glob("*.pkl")}
+
+
+class TestCorruptionAndSweep:
+    def test_corrupted_entry_is_a_miss_and_deleted(self, tmp_path):
+        ResultCache(directory=tmp_path).put("k", {"x": 1})
+        (tmp_path / "k.pkl").write_bytes(b"not a pickle")
+        # A fresh instance, so the memory tier cannot mask the disk read.
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("k") is MISS
+        assert not (tmp_path / "k.pkl").exists()
+        assert fresh.counters.corrupt_entries == 1
+        assert fresh.counters.misses == 1
+        assert fresh.counters.hits == 0
+        # The caller recomputes and re-stores; the key works again.
+        fresh.put("k", {"x": 2})
+        assert fresh.get("k") == {"x": 2}
+
+    def test_truncated_entry_is_a_miss_and_deleted(self, tmp_path):
+        ResultCache(directory=tmp_path).put("k", list(range(1000)))
+        path = tmp_path / "k.pkl"
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        fresh = ResultCache(directory=tmp_path)
+        assert fresh.get("k") is MISS
+        assert fresh.counters.corrupt_entries == 1
+        assert not path.exists()
+
+    def test_memory_tier_corruption_also_recovers(self):
+        cache = ResultCache()
+        cache.put("k", 1)
+        cache._memory["k"] = b"garbage"
+        assert cache.get("k") is MISS
+        assert cache.counters.corrupt_entries == 1
+        assert "k" not in cache._memory
+
+    def test_stale_tmp_files_swept_on_open(self, tmp_path):
+        stale = tmp_path / ".deadbeef01234567.abc.tmp"
+        stale.write_bytes(b"crashed writer leftover")
+        old = time.time() - TMP_SWEEP_AGE_SECONDS - 60
+        os.utime(stale, (old, old))
+        live = tmp_path / ".cafef00d89abcdef.xyz.tmp"
+        live.write_bytes(b"concurrent live writer")
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", 1)  # first store opens the directory
+        assert not stale.exists()
+        assert live.exists()
+        assert cache.counters.tmp_swept == 1
+        # The sweep runs once per instance: a temp file that *ages*
+        # while this instance is open belongs to someone else's store.
+        os.utime(live, (old, old))
+        cache.put("k2", 2)
+        assert live.exists()
+
+
+class TestParseSize:
+    def test_units(self):
+        assert parse_size("1048576") == 1024 ** 2
+        assert parse_size("64k") == 64 * 1024
+        assert parse_size("32m") == 32 * 1024 ** 2
+        assert parse_size("2g") == 2 * 1024 ** 3
+        assert parse_size("10kib") == 10 * 1024
+        assert parse_size("64kb") == 64_000  # SI, unlike "k"
+        assert parse_size("1.5m") == int(1.5 * 1024 ** 2)
+        assert parse_size(" 2 G ") == 2 * 1024 ** 3
+
+    def test_rejects_garbage(self):
+        for bad in ("", "lots", "-5", "0", "k"):
+            with pytest.raises(ValueError):
+                parse_size(bad)
+
+    def test_cache_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultCache(directory=tmp_path, max_bytes=0)
+
+
+class TestLRUEviction:
+    def test_cap_holds_after_every_store(self, tmp_path):
+        size = _entry_bytes()
+        cache = ResultCache(directory=tmp_path, max_bytes=3 * size)
+        for index in range(10):
+            cache.put(f"k{index}", b"x" * 100)
+            entries, total = cache.disk_usage()
+            assert total <= 3 * size
+            assert entries <= 3
+        assert cache.counters.evictions == 7
+        assert _disk_keys(tmp_path) == {"k7", "k8", "k9"}
+        # The memory tier is never evicted: every key still hits.
+        for index in range(10):
+            assert cache.get(f"k{index}") == b"x" * 100
+
+    def test_disk_reads_refresh_lru_order(self, tmp_path):
+        size = _entry_bytes()
+        cache = ResultCache(directory=tmp_path, max_bytes=3 * size)
+        for key in ("a", "b", "c"):
+            cache.put(key, b"x" * 100)
+        # A *disk* read is an access. Use a fresh instance: the writer
+        # would serve "a" from memory, which must not bump disk order.
+        fresh = ResultCache(directory=tmp_path, max_bytes=3 * size)
+        assert fresh.get("a") == b"x" * 100
+        fresh.put("d", b"x" * 100)  # evicts "b", now least recent
+        assert _disk_keys(tmp_path) == {"a", "c", "d"}
+
+    def test_memory_hits_do_not_bump_disk_order(self, tmp_path):
+        size = _entry_bytes()
+        cache = ResultCache(directory=tmp_path, max_bytes=3 * size)
+        for key in ("a", "b", "c"):
+            cache.put(key, b"x" * 100)
+        assert cache.get("a") == b"x" * 100  # memory-tier hit
+        cache.put("d", b"x" * 100)  # "a" is still the disk LRU entry
+        assert _disk_keys(tmp_path) == {"b", "c", "d"}
+
+    def test_pinned_entries_are_never_evicted(self, tmp_path):
+        size = _entry_bytes()
+        cache = ResultCache(directory=tmp_path, max_bytes=2 * size)
+        cache.put("a", b"x" * 100)
+        cache.put("b", b"x" * 100)
+        cache.pin("a")
+        cache.pin("b")
+        cache.put("c", b"x" * 100)
+        # Strict cap: with everything older pinned, the new unpinned
+        # entry is itself evicted from disk...
+        assert _disk_keys(tmp_path) == {"a", "b"}
+        assert cache.counters.evictions == 1
+        # ...but its memory-tier copy still serves.
+        assert cache.get("c") == b"x" * 100
+        # Unpinning makes the old entries evictable again.
+        cache.unpin("a")
+        cache.unpin("b")
+        cache.put("d", b"x" * 100)
+        assert _disk_keys(tmp_path) == {"b", "d"}
+
+    def test_sweep_reapplies_cap_after_external_writers(self, tmp_path):
+        size = _entry_bytes()
+        writer = ResultCache(directory=tmp_path)  # uncapped
+        for index in range(6):
+            writer.put(f"k{index}", b"x" * 100)
+        reader = ResultCache(directory=tmp_path, max_bytes=2 * size)
+        reader.sweep()
+        entries, total = reader.disk_usage()
+        assert (entries, total) == (2, 2 * size)
+        assert _disk_keys(tmp_path) == {"k4", "k5"}
+        assert reader.counters.evictions == 4
+
+
+class TestRandomizedLRUModel:
+    """Randomized put/get/reopen sequences against a pure-python model.
+
+    The model: the disk tier is an ordered key list (LRU -> MRU),
+    capped at ``CAP_ENTRIES``; stores and *disk* reads move a key to
+    the MRU end; memory-tier hits leave the order alone; reopening the
+    cache (a new instance over the same directory) drops the memory
+    tier. Every value is the same size, so the byte cap is exactly an
+    entry-count cap.
+    """
+
+    KEYS = ("a", "b", "c", "d", "e")
+    CAP_ENTRIES = 3
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.tuples(st.just("put"), st.sampled_from(KEYS)),
+                st.tuples(st.just("get"), st.sampled_from(KEYS)),
+                st.tuples(st.just("reopen"), st.just("-")),
+            ),
+            max_size=40,
+        )
+    )
+    def test_disk_tier_matches_model(self, ops):
+        size = _entry_bytes()
+        cap = self.CAP_ENTRIES * size
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = ResultCache(directory=tmp, max_bytes=cap)
+            order: list[str] = []  # LRU -> MRU
+            memory: set[str] = set()
+            for op, key in ops:
+                if op == "put":
+                    cache.put(key, b"x" * 100)
+                    memory.add(key)
+                    if key in order:
+                        order.remove(key)
+                    order.append(key)
+                    if len(order) > self.CAP_ENTRIES:
+                        order.pop(0)
+                elif op == "get":
+                    value = cache.get(key)
+                    if key in memory:
+                        assert value == b"x" * 100
+                    elif key in order:
+                        assert value == b"x" * 100
+                        memory.add(key)
+                        order.remove(key)
+                        order.append(key)
+                    else:
+                        assert value is MISS
+                else:  # reopen
+                    cache = ResultCache(directory=tmp, max_bytes=cap)
+                    memory = set()
+                assert _disk_keys(tmp) == set(order)
+                _entries, total = cache.disk_usage()
+                assert total <= cap
